@@ -1,0 +1,94 @@
+// Command attackgen crafts adversarial road decals against a trained
+// detector: ours (GAN, monochrome, consecutive frames), the no-consecutive
+// ablation, or the colored baseline [34]. It saves the patch and its print
+// preview.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roadtrojan"
+
+	"roadtrojan/internal/attack"
+	"roadtrojan/internal/eot"
+	"roadtrojan/internal/shapes"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attackgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		weights = flag.String("weights", "testdata/detector.rtwt", "detector weights")
+		out     = flag.String("out", "out/patch.rtwt", "patch output path")
+		png     = flag.String("png", "out/patch.png", "print-preview PNG path")
+		method  = flag.String("method", "ours", "ours | ours-static | baseline")
+		env     = flag.String("env", "road", "road | sim")
+		shape   = flag.String("shape", "star", "star | circle | square | triangle")
+		n       = flag.Int("n", 4, "number of decals N")
+		k       = flag.Int("k", 60, "patch print size k")
+		iters   = flag.Int("iters", 300, "training iterations")
+		alpha   = flag.Float64("alpha", 0.5, "attack-loss weight α")
+		tricks  = flag.String("tricks", "1245", "EOT trick numbers, e.g. 1245")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	det, err := roadtrojan.LoadDetector(*weights)
+	if err != nil {
+		return err
+	}
+	sh, err := shapes.ParseShape(*shape)
+	if err != nil {
+		return err
+	}
+	var nums []int
+	for _, r := range *tricks {
+		nums = append(nums, int(r-'0'))
+	}
+
+	cfg := attack.DefaultConfig()
+	cfg.N = *n
+	cfg.K = *k
+	cfg.Shape = sh
+	cfg.Iters = *iters
+	cfg.Alpha = *alpha
+	cfg.Tricks = eot.NewSet(nums...)
+	cfg.Seed = *seed
+
+	sc := roadtrojan.NewRoadScene(*seed)
+	if *env == "sim" {
+		sc = roadtrojan.NewSimScene()
+	}
+
+	var p *roadtrojan.Patch
+	switch *method {
+	case "ours":
+		cfg.Consecutive = true
+		p, err = roadtrojan.CraftPatch(det, sc, cfg, os.Stdout)
+	case "ours-static":
+		cfg.Consecutive = false
+		p, err = roadtrojan.CraftPatch(det, sc, cfg, os.Stdout)
+	case "baseline":
+		p, err = roadtrojan.CraftBaselinePatch(det, sc, cfg, os.Stdout)
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	if err != nil {
+		return err
+	}
+	if err := attack.SavePatch(*out, p); err != nil {
+		return err
+	}
+	if err := roadtrojan.SavePatchPNG(*png, p); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s patch to %s (preview %s)\n", *method, *out, *png)
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command benchtab regenerates every table (I–VI) and figure (2–8) of the
+// paper's evaluation on the synthetic substrate, writing text tables, CSVs
+// and PNGs under -out. This is the full-quality run backing EXPERIMENTS.md;
+// bench_test.go runs reduced versions of the same experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"roadtrojan"
+
+	"roadtrojan/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		weights = flag.String("weights", "testdata/detector.rtwt", "detector weights")
+		outDir  = flag.String("out", "out/experiments", "output directory")
+		iters   = flag.Int("iters", 300, "attack training iterations per patch")
+		runs    = flag.Int("runs", 3, "evaluation runs to average")
+		seed    = flag.Int64("seed", 7, "experiment seed")
+		only    = flag.String("only", "", "run a single experiment: I..VI or figures")
+		verbose = flag.Bool("v", false, "log attack training progress")
+	)
+	flag.Parse()
+
+	det, err := roadtrojan.LoadDetector(*weights)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	var logw *os.File
+	if *verbose {
+		logw = os.Stderr
+	}
+	env := eval.NewEnv(det.Model(), *iters, *runs, *seed, logw)
+
+	if s, err := env.CheckNoAttackBaseline(); err == nil {
+		fmt.Printf("clean-scene sanity: target detect-rate %.2f, PWC %.0f%%\n", s.DetectRate, s.PWC)
+	} else {
+		return err
+	}
+
+	tables := []struct {
+		name string
+		run  func() (eval.Table, error)
+	}{
+		{"I", env.TableI},
+		{"II", env.TableII},
+		{"III", env.TableIII},
+		{"IV", env.TableIV},
+		{"V", env.TableV},
+		{"VI", env.TableVI},
+		{"alpha", env.AblationAlpha},
+		{"ink", env.AblationInk},
+		{"ganfree", env.AblationGANFree},
+		{"defense", env.DefenseTable},
+		{"shadow", env.ShadowTable},
+	}
+	for _, tb := range tables {
+		if *only != "" && *only != tb.name && *only != "all" {
+			continue
+		}
+		start := time.Now()
+		t, err := tb.run()
+		if err != nil {
+			return fmt.Errorf("table %s: %w", tb.name, err)
+		}
+		fmt.Printf("\n%s\n(%.0fs)\n", t.String(), time.Since(start).Seconds())
+		if err := os.WriteFile(filepath.Join(*outDir, "table"+tb.name+".txt"), []byte(t.String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "table"+tb.name+".csv"), []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *only == "" || *only == "figures" || *only == "all" {
+		figDir := filepath.Join(*outDir, "figures")
+		if err := os.MkdirAll(figDir, 0o755); err != nil {
+			return err
+		}
+		if err := env.Figures(figDir); err != nil {
+			return fmt.Errorf("figures: %w", err)
+		}
+		fmt.Printf("\nfigures written to %s\n", figDir)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Command evalattack scores a saved patch (or the no-attack baseline) under
+// the paper's challenge settings, printing PWC / CWC per challenge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"roadtrojan"
+
+	"roadtrojan/internal/attack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evalattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		weights    = flag.String("weights", "testdata/detector.rtwt", "detector weights")
+		patchPath  = flag.String("patch", "", "patch file (empty = no attack)")
+		env        = flag.String("env", "road", "road | sim")
+		mode       = flag.String("mode", "physical", "physical | digital")
+		challenges = flag.String("challenges", strings.Join(roadtrojan.AllChallenges(), ","), "comma-separated challenge names")
+		runs       = flag.Int("runs", 3, "runs to average")
+		seed       = flag.Int64("seed", 100, "evaluation seed")
+	)
+	flag.Parse()
+
+	det, err := roadtrojan.LoadDetector(*weights)
+	if err != nil {
+		return err
+	}
+	sc := roadtrojan.NewRoadScene(*seed)
+	if *env == "sim" {
+		sc = roadtrojan.NewSimScene()
+	}
+	var p *roadtrojan.Patch
+	target := roadtrojan.Car
+	if *patchPath != "" {
+		p, err = attack.LoadPatch(*patchPath)
+		if err != nil {
+			return err
+		}
+		target = p.Cfg.TargetClass
+	}
+	cond := roadtrojan.PhysicalCondition()
+	if *mode == "digital" {
+		cond = roadtrojan.DigitalCondition()
+	}
+	cond.Runs = *runs
+	cond.Seed = *seed
+
+	for _, ch := range strings.Split(*challenges, ",") {
+		ch = strings.TrimSpace(ch)
+		if ch == "" {
+			continue
+		}
+		s, err := roadtrojan.EvaluateScenario(det, sc, p, target, ch, cond)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %s   (frames %d, detect-rate %.2f, longest run %d)\n",
+			ch, s.String(), s.Frames, s.DetectRate, s.WrongRun)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command scenegen renders previews of the synthetic substrate: labeled
+// dataset scenes, an approach video, and the Fig. 3 angle-setting triptych.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"roadtrojan/internal/imaging"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scenegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir = flag.String("out", "out/preview", "output directory")
+		count  = flag.Int("scenes", 6, "number of dataset scenes to render")
+		seed   = flag.Int64("seed", 3, "random seed")
+	)
+	flag.Parse()
+
+	// Labeled dataset scenes.
+	ds := scene.GenerateDataset(scene.DatasetConfig{
+		Cam: scene.DefaultCamera(), NumTrain: *count, NumTest: 0, Seed: *seed,
+	})
+	for i, f := range ds.Train {
+		img := f.Image.Clone()
+		for _, o := range f.Objects {
+			x0, y0, x1, y1 := o.Box.X0Y0X1Y1()
+			imaging.DrawRect(img, int(x0), int(y0), int(x1), int(y1), [3]float64{1, 0, 0})
+		}
+		if err := imaging.SavePNG(filepath.Join(*outDir, fmt.Sprintf("scene%02d.png", i)), img); err != nil {
+			return err
+		}
+		fmt.Printf("scene %d: %v\n", i, f.Objects)
+	}
+
+	// An approach video on the sim-room ground.
+	g := scene.NewSimRoom(8, 30, 0.05)
+	x0, y0, x1, y1 := g.PaintArrow(0, 15, 1.8)
+	rng := rand.New(rand.NewSource(*seed))
+	steps := scene.BuildTrajectory(scene.DefaultCamera(), scene.Challenges("slow")[0], 0, 15, rng)
+	frames, err := scene.RenderVideo(g, steps, x0, y0, x1, y1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(frames); i += 4 {
+		img := frames[i].Image.Clone()
+		if frames[i].TargetOK {
+			bx0, by0, bx1, by1 := frames[i].TargetBox.X0Y0X1Y1()
+			imaging.DrawRect(img, int(bx0), int(by0), int(bx1), int(by1), [3]float64{0, 1, 0})
+		}
+		if err := imaging.SavePNG(filepath.Join(*outDir, fmt.Sprintf("video%02d.png", i)), img); err != nil {
+			return err
+		}
+	}
+
+	// Fig. 3: the three angle settings.
+	var tiles []*tensor.Tensor
+	for _, name := range []string{"angle-15", "angle0", "angle+15"} {
+		st := scene.BuildTrajectory(scene.DefaultCamera(), scene.Challenges(name)[0], 0, 15, rng)
+		fr, err := scene.RenderVideo(g, st[:1], x0, y0, x1, y1)
+		if err != nil {
+			return err
+		}
+		img := fr[0].Image.Clone()
+		if fr[0].TargetOK {
+			bx0, by0, bx1, by1 := fr[0].TargetBox.X0Y0X1Y1()
+			imaging.DrawRect(img, int(bx0), int(by0), int(bx1), int(by1), [3]float64{0, 1, 0})
+		}
+		tiles = append(tiles, img)
+	}
+	if err := imaging.SavePNG(filepath.Join(*outDir, "fig3_angles.png"), imaging.TileHorizontal(tiles, 2)); err != nil {
+		return err
+	}
+	// Animated approach preview.
+	var gifFrames []*tensor.Tensor
+	for _, f := range frames {
+		gifFrames = append(gifFrames, f.Image)
+	}
+	if err := imaging.SaveGIF(filepath.Join(*outDir, "approach.gif"), gifFrames, 12); err != nil {
+		return err
+	}
+	fmt.Printf("wrote previews to %s (%d video frames + approach.gif)\n", *outDir, len(frames))
+	return nil
+}

@@ -1,0 +1,3 @@
+module roadtrojan
+
+go 1.22

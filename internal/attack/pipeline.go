@@ -1,0 +1,168 @@
+package attack
+
+import (
+	"fmt"
+
+	"roadtrojan/internal/eot"
+	"roadtrojan/internal/imaging"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/tensor"
+)
+
+// patchCorners returns the pixel-corner quad of an R×R patch raster.
+func patchCorners(r int) [4]imaging.Point {
+	f := float64(r - 1)
+	return [4]imaging.Point{{X: 0, Y: 0}, {X: f, Y: 0}, {X: f, Y: f}, {X: 0, Y: f}}
+}
+
+// decalWarp builds the warp that resamples an R×R patch raster onto the
+// ground texture at the given placement (output = ground raster pixels,
+// input = patch pixels). outside fills texels the decal does not cover.
+func decalWarp(g *scene.Ground, pl Placement, r int, outside float64) (*imaging.Warp, error) {
+	quad := g.DecalQuad(pl.GX, pl.GY, pl.SizeM, pl.Rot)
+	h, err := imaging.QuadToQuad(quad, patchCorners(r))
+	if err != nil {
+		return nil, fmt.Errorf("attack: decal warp: %w", err)
+	}
+	return imaging.NewWarp(h, g.Rows(), g.Cols(), outside), nil
+}
+
+// grayComposite is the differentiable application of one monochrome patch
+// to the ground at N placements. Forward produces the decaled texture;
+// Backward converts the texture gradient into the patch gradient.
+type grayComposite struct {
+	warps []*imaging.Warp
+	comps []*imaging.CompositeInk
+	r     int
+}
+
+// applyGrayDecals composites the [1,R,R] gray layer (1 = transparent) onto a
+// clone of base at every placement. Ink is near-black road paint.
+func applyGrayDecals(g *scene.Ground, base *tensor.Tensor, layer *tensor.Tensor, pls []Placement, ink float64) (*tensor.Tensor, *grayComposite, error) {
+	r := layer.Dim(1)
+	gc := &grayComposite{r: r}
+	tex := base
+	for _, pl := range pls {
+		wp, err := decalWarp(g, pl, r, 1) // outside = white = transparent
+		if err != nil {
+			return nil, nil, err
+		}
+		warped := wp.Forward(layer)
+		comp := imaging.NewCompositeInk([3]float64{ink, ink, ink * 1.02})
+		tex = comp.Forward(tex, warped)
+		gc.warps = append(gc.warps, wp)
+		gc.comps = append(gc.comps, comp)
+	}
+	return tex, gc, nil
+}
+
+// backward maps d(decaled texture) to d(layer), summing over placements.
+func (gc *grayComposite) backward(dTex *tensor.Tensor) *tensor.Tensor {
+	var dLayer *tensor.Tensor
+	for i := len(gc.comps) - 1; i >= 0; i-- {
+		dBg, dGray := gc.comps[i].Backward(dTex)
+		dp := gc.warps[i].Backward(dGray)
+		if dLayer == nil {
+			dLayer = dp
+		} else {
+			dLayer.AddInPlace(dp)
+		}
+		dTex = dBg
+	}
+	return dLayer
+}
+
+// rgbComposite is the colored-baseline counterpart: a [3,R,R] patch pasted
+// as an opaque square sticker.
+type rgbComposite struct {
+	warps []*imaging.Warp
+	comps []*imaging.CompositeRGB
+}
+
+// applyRGBDecals composites the colored layer at every placement. The
+// coverage mask is the warped footprint of the full square.
+func applyRGBDecals(g *scene.Ground, base *tensor.Tensor, layer *tensor.Tensor, pls []Placement) (*tensor.Tensor, *rgbComposite, error) {
+	r := layer.Dim(1)
+	ones := tensor.Ones(1, r, r)
+	rc := &rgbComposite{}
+	tex := base
+	for _, pl := range pls {
+		wpL, err := decalWarp(g, pl, r, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		warped := wpL.Forward(layer)
+		wpM, err := decalWarp(g, pl, r, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		mask := wpM.Forward(ones)
+		comp := imaging.NewCompositeRGB()
+		tex = comp.Forward(tex, warped, mask)
+		rc.warps = append(rc.warps, wpL)
+		rc.comps = append(rc.comps, comp)
+	}
+	return tex, rc, nil
+}
+
+// backward maps d(decaled texture) to d(layer).
+func (rc *rgbComposite) backward(dTex *tensor.Tensor) *tensor.Tensor {
+	var dLayer *tensor.Tensor
+	for i := len(rc.comps) - 1; i >= 0; i-- {
+		dBg, dL := rc.comps[i].Backward(dTex)
+		dp := rc.warps[i].Backward(dL)
+		if dLayer == nil {
+			dLayer = dp
+		} else {
+			dLayer.AddInPlace(dp)
+		}
+		dTex = dBg
+	}
+	return dLayer
+}
+
+// frameGraph records one training frame's differentiable chain:
+// camera warp → sky overwrite → motion blur → EOT → clamp (inside EOT).
+type frameGraph struct {
+	camWarp *imaging.Warp
+	skyMask []bool
+	blurLen int
+	applied *eot.Applied
+}
+
+// renderTrainFrame renders a decaled ground texture through one trajectory
+// step with a fresh EOT sample, returning the frame and its backward graph.
+func renderTrainFrame(g *scene.Ground, decaled *tensor.Tensor, step scene.TrajectoryStep, applied *eot.Applied) (*tensor.Tensor, *frameGraph, error) {
+	tmp := &scene.Ground{Tex: decaled, WidthM: g.WidthM, LengthM: g.LengthM, MPP: g.MPP}
+	wp, err := step.Cam.TexWarp(tmp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("attack: train frame: %w", err)
+	}
+	img := wp.Forward(decaled)
+	skyMask := step.Cam.ApplySky(img)
+	if step.BlurLen > 1 {
+		img = imaging.BoxBlurVertical(img, step.BlurLen)
+	}
+	img = applied.Forward(img)
+	return img, &frameGraph{camWarp: wp, skyMask: skyMask, blurLen: step.BlurLen, applied: applied}, nil
+}
+
+// backward maps d(frame) to d(decaled ground texture).
+func (fg *frameGraph) backward(dImg *tensor.Tensor) *tensor.Tensor {
+	d := fg.applied.Backward(dImg)
+	if fg.blurLen > 1 {
+		d = imaging.BoxBlurVertical(d, fg.blurLen) // self-adjoint
+	}
+	// Sky pixels were overwritten after the warp: their gradient must not
+	// reach the texture.
+	c, h, w := d.Dim(0), d.Dim(1), d.Dim(2)
+	n := h * w
+	for i, sky := range fg.skyMask {
+		if sky {
+			for ch := 0; ch < c; ch++ {
+				d.Data()[ch*n+i] = 0
+			}
+		}
+	}
+	return fg.camWarp.Backward(d)
+}

@@ -1,0 +1,166 @@
+// Package attack is the paper's primary contribution: crafting monochrome,
+// shape-constrained road decals that fool a YOLOv3-tiny-style detector into
+// reporting a target class for consecutive frames while the camera moves.
+// It wires the GAN generator through differentiable EOT, ground-plane
+// compositing and the camera warp into the detector's targeted attack loss
+// (Eq. 1/2), and also implements the colored EOT-patch baseline [34]
+// (Sava et al.) the paper compares against.
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"roadtrojan/internal/eot"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/shapes"
+)
+
+// PrintScaleM converts the paper's patch size k (print pixels) to decal side
+// length in meters: k=60 → 0.90 m square decals (large-format road decals;
+// the scale is calibrated so a k=60 decal occupies a usable pixel footprint
+// in the 64×64 frames of the scaled-down substrate).
+const PrintScaleM = 0.015
+
+// Config describes one attack instance (one row of the paper's tables).
+type Config struct {
+	// N is the number of decals placed around the target (Table III).
+	N int
+	// K is the print size k in pixels; the decal side is K·PrintScaleM
+	// meters (Table VI).
+	K int
+	// Shape constrains the decal silhouette (Table V).
+	Shape shapes.Shape
+	// TargetClass is the class t the detector should report.
+	TargetClass scene.Class
+	// Alpha is α in Eq. 1, weighting the attack loss against the GAN loss.
+	Alpha float64
+	// Iters is the number of generator updates (the paper trains 800
+	// epochs; scaled here).
+	Iters int
+	// WindowFrames is the per-batch frame count; the paper uses 3
+	// consecutive frames.
+	WindowFrames int
+	// Consecutive selects consecutive-frame batches (ours) versus i.i.d.
+	// frames (the "w/o 3 consecutive frames" ablation).
+	Consecutive bool
+	// Tricks is the EOT combination (Table IV).
+	Tricks eot.Set
+	// LRG/LRD are the Adam learning rates of generator and discriminator.
+	LRG, LRD float64
+	// Seed drives all attack-side randomness.
+	Seed int64
+	// RingRadiusM is the decal ring's distance from the target center; 0
+	// derives it from the target size and decal size.
+	RingRadiusM float64
+	// Ink is the decal's single paint luminance in [0,1] — the paper's
+	// monochrome constraint leaves the attacker one color to choose; road
+	// paint is typically near-black (0.05) or near-white (0.92).
+	Ink float64
+}
+
+// DefaultConfig is the paper's main real-world setting: N=6 (Table I uses 6;
+// the ablations use 4), k=60, star shape, α=0.5, Adam 1e-4... scaled for the
+// CPU substrate.
+func DefaultConfig() Config {
+	return Config{
+		N:           4,
+		K:           60,
+		Shape:       shapes.Star,
+		TargetClass: scene.Word,
+		Alpha:       1.5, // the paper's 0.5 rebalanced for this substrate's loss scales
+
+		Iters:        300,
+		WindowFrames: 3,
+		Consecutive:  true,
+		Tricks:       eot.PaperBest(),
+		LRG:          2e-3,
+		LRD:          1e-3,
+		Seed:         1,
+		Ink:          0.92, // white road paint: the attacker's monochrome color
+		RingRadiusM:  0.75, // decals brush the target (cf. the paper's Fig. 5)
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 1 || c.N > 16 {
+		return fmt.Errorf("attack: N=%d out of range [1,16]", c.N)
+	}
+	if c.K < 8 || c.K > 160 {
+		return fmt.Errorf("attack: k=%d out of range [8,160]", c.K)
+	}
+	if c.Iters < 1 {
+		return fmt.Errorf("attack: Iters=%d must be positive", c.Iters)
+	}
+	if c.WindowFrames < 1 {
+		return fmt.Errorf("attack: WindowFrames=%d must be positive", c.WindowFrames)
+	}
+	if c.Alpha < 0 {
+		return fmt.Errorf("attack: Alpha=%v must be non-negative", c.Alpha)
+	}
+	if c.Ink < 0 || c.Ink > 1 {
+		return fmt.Errorf("attack: Ink=%v out of [0,1]", c.Ink)
+	}
+	return nil
+}
+
+// SizeM is the decal side length in meters.
+func (c Config) SizeM() float64 { return float64(c.K) * PrintScaleM }
+
+// ShapeScale returns the silhouette scale inside the decal tile.
+func (c Config) ShapeScale() float64 { return 0.92 }
+
+// KForEqualTotalArea returns the patch size k for n decals that keeps the
+// total decal area n·k² equal to baseN·baseK² — Table III's protocol of
+// "maintaining a constant total area for all APs" while varying N.
+func KForEqualTotalArea(baseK, baseN, n int) int {
+	return int(float64(baseK)*math.Sqrt(float64(baseN)/float64(n)) + 0.5)
+}
+
+// Placement is one decal's pose on the ground plane.
+type Placement struct {
+	GX, GY float64 // decal center (meters)
+	Rot    float64 // rotation on the ground (radians)
+	SizeM  float64 // side length (meters)
+}
+
+// Placements lays the N decals in a ring around the target (as in Fig. 6),
+// each with a deterministic pseudo-random rotation — the paper notes "the N
+// APs in each image may have different rotation angles".
+func Placements(cfg Config, targetGX, targetGY float64) []Placement {
+	r := cfg.RingRadiusM
+	if r <= 0 {
+		r = 0.95 + cfg.SizeM()/2
+	}
+	out := make([]Placement, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		// Bias the ring toward the camera side (decals ahead of the arrow
+		// stay visible longest during the approach).
+		a := -math.Pi/2 + (float64(i)+0.5)/float64(cfg.N)*2*math.Pi
+		// Golden-angle rotation sequence: deterministic, non-repeating.
+		rot := math.Mod(float64(i)*2.39996, 2*math.Pi)
+		out[i] = Placement{
+			GX:    targetGX + r*math.Cos(a),
+			GY:    targetGY + r*0.8*math.Sin(a),
+			Rot:   rot,
+			SizeM: cfg.SizeM(),
+		}
+	}
+	return out
+}
+
+// Scene is the attacked location: a ground texture (without decals), the
+// target object painted on it, and the target's ground bounding box.
+type Scene struct {
+	Ground             *scene.Ground
+	TargetGX, TargetGY float64
+	GX0, GY0, GX1, GY1 float64 // target ground bbox
+}
+
+// NewArrowScene builds the canonical attacked scene: a road (or sim-room)
+// ground with a white arrow "mark" at (gx, gy).
+func NewArrowScene(g *scene.Ground, gx, gy, lenM float64) Scene {
+	x0, y0, x1, y1 := g.PaintArrow(gx, gy, lenM)
+	return Scene{Ground: g, TargetGX: gx, TargetGY: gy, GX0: x0, GY0: y0, GX1: x1, GY1: y1}
+}

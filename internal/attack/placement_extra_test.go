@@ -1,0 +1,57 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlacementsSingleDecal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 1
+	pls := Placements(cfg, 0, 15)
+	if len(pls) != 1 {
+		t.Fatalf("placements = %d", len(pls))
+	}
+	if math.Hypot(pls[0].GX, pls[0].GY-15) > 2.5 {
+		t.Fatal("single decal too far from target")
+	}
+}
+
+func TestPropPlacementsScaleWithK(t *testing.T) {
+	// Larger k ⇒ larger decals and a wider default ring.
+	f := func(seed int64) bool {
+		k1, k2 := 20, 80
+		c1, c2 := DefaultConfig(), DefaultConfig()
+		c1.K, c2.K = k1, k2
+		c1.RingRadiusM, c2.RingRadiusM = 0, 0 // derive from size
+		p1 := Placements(c1, 0, 15)
+		p2 := Placements(c2, 0, 15)
+		r1 := math.Hypot(p1[0].GX, p1[0].GY-15)
+		r2 := math.Hypot(p2[0].GX, p2[0].GY-15)
+		return p2[0].SizeM > p1[0].SizeM && r2 > r1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingRadiusOverride(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RingRadiusM = 2.0
+	pls := Placements(cfg, 0, 15)
+	for _, p := range pls {
+		d := math.Hypot(p.GX, (p.GY-15)/0.8)
+		if math.Abs(d-2.0) > 1e-9 {
+			t.Fatalf("decal at ring distance %v, want 2.0", d)
+		}
+	}
+}
+
+func TestNewArrowSceneBBoxContainsCenter(t *testing.T) {
+	sc := testScene()
+	if !(sc.GX0 < sc.TargetGX && sc.TargetGX < sc.GX1 &&
+		sc.GY0 < sc.TargetGY && sc.TargetGY < sc.GY1) {
+		t.Fatalf("target center outside its bbox: %+v", sc)
+	}
+}

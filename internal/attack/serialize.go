@@ -1,0 +1,96 @@
+package attack
+
+import (
+	"fmt"
+
+	"roadtrojan/internal/eot"
+	"roadtrojan/internal/nn"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/shapes"
+	"roadtrojan/internal/tensor"
+)
+
+// SavePatch writes a trained patch (tensors + config) to path using the
+// project weight format.
+func SavePatch(path string, p *Patch) error {
+	s := nn.State{
+		"cfg": configTensor(p.Cfg),
+	}
+	if p.Gray != nil {
+		s["gray"] = p.Gray
+		s["mask"] = p.Mask
+	}
+	if p.RGB != nil {
+		s["rgb"] = p.RGB
+	}
+	return nn.SaveStateFile(path, s)
+}
+
+// LoadPatch restores a patch written by SavePatch.
+func LoadPatch(path string) (*Patch, error) {
+	s, err := nn.LoadStateFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ct, ok := s["cfg"]
+	if !ok {
+		return nil, fmt.Errorf("attack: %w: missing config", nn.ErrBadWeights)
+	}
+	cfg, err := configFromTensor(ct)
+	if err != nil {
+		return nil, err
+	}
+	p := &Patch{Cfg: cfg}
+	if g, ok := s["gray"]; ok {
+		m, ok2 := s["mask"]
+		if !ok2 {
+			return nil, fmt.Errorf("attack: %w: gray patch without mask", nn.ErrBadWeights)
+		}
+		p.Gray, p.Mask = g, m
+	}
+	if rgb, ok := s["rgb"]; ok {
+		p.RGB = rgb
+	}
+	if p.Gray == nil && p.RGB == nil {
+		return nil, fmt.Errorf("attack: %w: patch has no payload", nn.ErrBadWeights)
+	}
+	return p, nil
+}
+
+// configTensor flattens the config into a fixed-order numeric vector.
+func configTensor(c Config) *tensor.Tensor {
+	tricks := 0.0
+	for _, t := range c.Tricks {
+		tricks += float64(int(1) << (int(t) - 1)) // bitmask
+	}
+	cons := 0.0
+	if c.Consecutive {
+		cons = 1
+	}
+	return tensor.FromSlice([]float64{
+		float64(c.N), float64(c.K), float64(c.Shape), float64(c.TargetClass),
+		c.Alpha, float64(c.Iters), float64(c.WindowFrames), cons, tricks,
+		c.LRG, c.LRD, float64(c.Seed), c.RingRadiusM, c.Ink,
+	}, 14)
+}
+
+func configFromTensor(t *tensor.Tensor) (Config, error) {
+	if t.Len() != 14 {
+		return Config{}, fmt.Errorf("attack: %w: config vector length %d", nn.ErrBadWeights, t.Len())
+	}
+	d := t.Data()
+	var tricks eot.Set
+	mask := int(d[8])
+	for n := 1; n <= 5; n++ {
+		if mask&(1<<(n-1)) != 0 {
+			tricks = append(tricks, eot.Trick(n))
+		}
+	}
+	cfg := Config{
+		N: int(d[0]), K: int(d[1]), Shape: shapes.Shape(int(d[2])),
+		TargetClass: scene.Class(int(d[3])), Alpha: d[4], Iters: int(d[5]),
+		WindowFrames: int(d[6]), Consecutive: d[7] != 0, Tricks: tricks,
+		LRG: d[9], LRD: d[10], Seed: int64(d[11]), RingRadiusM: d[12], Ink: d[13],
+	}
+	return cfg, cfg.Validate()
+}

@@ -1,0 +1,46 @@
+// Package core anchors the paper's primary contribution in the canonical
+// location. The implementation lives in internal/attack (placement,
+// differentiable decal pipeline, GAN trainer, baseline [34]); this package
+// re-exports its API so the repository layout matches the design document's
+// internal/core convention.
+package core
+
+import (
+	"io"
+
+	"roadtrojan/internal/attack"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/yolo"
+)
+
+// Re-exported contribution types.
+type (
+	// Config parameterizes one attack instance.
+	Config = attack.Config
+	// Patch is a trained decal artifact.
+	Patch = attack.Patch
+	// Scene is an attacked road location.
+	Scene = attack.Scene
+	// Placement is one decal pose on the ground.
+	Placement = attack.Placement
+	// TrainStats traces an optimization run.
+	TrainStats = attack.TrainStats
+)
+
+// DefaultConfig returns the paper's main attack setting.
+func DefaultConfig() Config { return attack.DefaultConfig() }
+
+// Train runs the GAN-based monochrome decal attack (Sec. III).
+func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, log io.Writer) (*Patch, *TrainStats, error) {
+	return attack.Train(det, cam, sc, cfg, log)
+}
+
+// TrainBaseline runs the colored EOT baseline [34].
+func TrainBaseline(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, log io.Writer) (*Patch, *TrainStats, error) {
+	return attack.TrainBaseline(det, cam, sc, cfg, log)
+}
+
+// Placements lays N decals around the target (Fig. 6).
+func Placements(cfg Config, targetGX, targetGY float64) []Placement {
+	return attack.Placements(cfg, targetGX, targetGY)
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadtrojan/internal/attack"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/yolo"
+)
+
+func TestCoreReexports(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	pls := Placements(cfg, 0, 15)
+	if len(pls) != cfg.N {
+		t.Fatalf("placements = %d, want %d", len(pls), cfg.N)
+	}
+}
+
+func TestCoreTrainDelegates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short mode")
+	}
+	g := scene.NewSimRoom(8, 30, 0.05)
+	sc := attack.NewArrowScene(g, 0, 15, 1.8)
+	det := yolo.New(rand.New(rand.NewSource(1)), yolo.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Iters = 2
+	cfg.N = 2
+	p, stats, err := Train(det, scene.DefaultCamera(), sc, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || len(stats.AttackLoss) != 2 {
+		t.Fatal("core.Train did not delegate correctly")
+	}
+}

@@ -1,0 +1,117 @@
+// Package defense implements the countermeasure implied by the paper's
+// threat model: because an AV only reacts after the same class is reported
+// for ConsecutiveFrames frames, a temporal majority-vote filter with random
+// input jitter raises the bar for exactly the consecutive-frame property the
+// attack is engineered to achieve. This extends the paper's evaluation (the
+// paper lists defenses as future work).
+package defense
+
+import (
+	"math/rand"
+
+	"roadtrojan/internal/eot"
+	"roadtrojan/internal/metrics"
+	"roadtrojan/internal/physical"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/yolo"
+)
+
+// Config tunes the temporal defense.
+type Config struct {
+	// Window is the sliding vote window (frames).
+	Window int
+	// Agreement is the minimum number of same-class votes inside the window
+	// before a class is reported.
+	Agreement int
+	// Jitter applies a random photometric transform before each detection
+	// (randomized smoothing at test time).
+	Jitter bool
+	// MatchIoU associates detections with the tracked target.
+	MatchIoU float64
+}
+
+// DefaultConfig votes 4-of-5 with jitter.
+func DefaultConfig() Config {
+	return Config{Window: 5, Agreement: 4, Jitter: true, MatchIoU: 0.2}
+}
+
+// Filter runs the detector over a video twice conceptually: raw per-frame
+// verdicts, then the defended (voted) verdicts. It returns both so callers
+// can compare PWC/CWC with and without the defense.
+type Filter struct {
+	cfg     Config
+	det     *yolo.Model
+	sampler *eot.Sampler
+}
+
+// NewFilter builds the defense around a detector.
+func NewFilter(det *yolo.Model, cfg Config) *Filter {
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	if cfg.Agreement < 1 {
+		cfg.Agreement = 1
+	}
+	return &Filter{cfg: cfg, det: det, sampler: eot.NewSampler(eot.NewSet(3, 4))}
+}
+
+// Classify scores every frame of a rendered video (optionally through the
+// capture channel) and returns raw and defended frame results.
+func (f *Filter) Classify(frames []scene.VideoFrame, ch physical.Channel, rng *rand.Rand) (raw, defended []metrics.FrameResult) {
+	f.det.SetTraining(false)
+	opts := yolo.DefaultDecode()
+	raw = make([]metrics.FrameResult, len(frames))
+	for i, fr := range frames {
+		img := fr.Image
+		if ch.Enabled {
+			img = ch.Capture.Apply(rng, img)
+		}
+		if f.cfg.Jitter {
+			img = f.sampler.Sample(rng, img.Dim(1), img.Dim(2)).Forward(img)
+		}
+		if !fr.TargetOK {
+			continue
+		}
+		heads := f.det.Forward(img.Reshape(1, 3, img.Dim(1), img.Dim(2)))
+		dets := f.det.DecodeSample(heads, 0, opts)
+		if d, ok := yolo.MatchTarget(dets, fr.TargetBox, f.cfg.MatchIoU); ok {
+			raw[i] = metrics.FrameResult{Detected: true, Class: d.Class, Confidence: d.Confidence}
+		}
+	}
+	return raw, Vote(raw, f.cfg.Window, f.cfg.Agreement)
+}
+
+// Vote applies the sliding majority filter to per-frame verdicts: at frame
+// i, the class reported is the most frequent detected class of the last
+// `window` frames, and only when it has at least `agreement` votes.
+func Vote(raw []metrics.FrameResult, window, agreement int) []metrics.FrameResult {
+	out := make([]metrics.FrameResult, len(raw))
+	for i := range raw {
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		counts := make(map[scene.Class]int)
+		conf := make(map[scene.Class]float64)
+		for j := lo; j <= i; j++ {
+			if raw[j].Detected {
+				counts[raw[j].Class]++
+				conf[raw[j].Class] += raw[j].Confidence
+			}
+		}
+		bestClass, bestN := scene.Class(0), 0
+		for c, n := range counts {
+			if n > bestN || (n == bestN && conf[c] > conf[bestClass]) {
+				bestClass, bestN = c, n
+			}
+		}
+		if bestN >= agreement {
+			out[i] = metrics.FrameResult{
+				Detected:   true,
+				Class:      bestClass,
+				Confidence: conf[bestClass] / float64(bestN),
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadtrojan/internal/metrics"
+	"roadtrojan/internal/physical"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/yolo"
+)
+
+func fr(c scene.Class, conf float64) metrics.FrameResult {
+	return metrics.FrameResult{Detected: true, Class: c, Confidence: conf}
+}
+
+func TestVoteSuppressesShortBursts(t *testing.T) {
+	// A 3-frame wrong-class burst inside a mark stream must not survive a
+	// 5-window/4-agreement vote.
+	raw := []metrics.FrameResult{
+		fr(scene.Mark, 0.9), fr(scene.Mark, 0.9),
+		fr(scene.Word, 0.8), fr(scene.Word, 0.8), fr(scene.Word, 0.8),
+		fr(scene.Mark, 0.9), fr(scene.Mark, 0.9),
+	}
+	out := Vote(raw, 5, 4)
+	if metrics.CWC(out, scene.Word) {
+		t.Fatal("vote failed to suppress a 3-frame burst")
+	}
+	// The raw stream does achieve CWC — the defense is what broke it.
+	if !metrics.CWC(raw, scene.Word) {
+		t.Fatal("test setup wrong: raw stream should CWC")
+	}
+}
+
+func TestVotePassesSustainedDetections(t *testing.T) {
+	raw := make([]metrics.FrameResult, 10)
+	for i := range raw {
+		raw[i] = fr(scene.Mark, 0.9)
+	}
+	out := Vote(raw, 5, 4)
+	// After warm-up, the voted stream reports mark.
+	for i := 4; i < 10; i++ {
+		if !out[i].Detected || out[i].Class != scene.Mark {
+			t.Fatalf("frame %d: voted %+v", i, out[i])
+		}
+	}
+	// Warm-up frames (fewer than `agreement` votes available) stay silent.
+	if out[0].Detected || out[2].Detected {
+		t.Fatal("vote reported before enough agreement")
+	}
+}
+
+func TestVoteHandlesGaps(t *testing.T) {
+	raw := []metrics.FrameResult{
+		fr(scene.Mark, 0.9), {}, fr(scene.Mark, 0.9), {}, fr(scene.Mark, 0.9),
+	}
+	out := Vote(raw, 5, 3)
+	if !out[4].Detected || out[4].Class != scene.Mark {
+		t.Fatalf("3 votes in 5 frames should pass: %+v", out[4])
+	}
+	out = Vote(raw, 5, 4)
+	if out[4].Detected {
+		t.Fatal("3 votes must fail a 4-agreement threshold")
+	}
+}
+
+func TestVoteWindowOne(t *testing.T) {
+	raw := []metrics.FrameResult{fr(scene.Car, 0.5), {}}
+	out := Vote(raw, 1, 1)
+	if !out[0].Detected || out[1].Detected {
+		t.Fatalf("window-1 vote must be identity: %+v", out)
+	}
+}
+
+func TestVoteEmpty(t *testing.T) {
+	if out := Vote(nil, 5, 4); len(out) != 0 {
+		t.Fatalf("empty input produced %d results", len(out))
+	}
+}
+
+func TestNewFilterClampsConfig(t *testing.T) {
+	det := yolo.New(rand.New(rand.NewSource(1)), yolo.DefaultConfig())
+	f := NewFilter(det, Config{Window: 0, Agreement: 0})
+	if f.cfg.Window != 1 || f.cfg.Agreement != 1 {
+		t.Fatalf("config not clamped: %+v", f.cfg)
+	}
+}
+
+func TestClassifyRunsEndToEnd(t *testing.T) {
+	det := yolo.New(rand.New(rand.NewSource(2)), yolo.DefaultConfig())
+	g := scene.NewSimRoom(8, 30, 0.05)
+	x0, y0, x1, y1 := g.PaintArrow(0, 15, 1.8)
+	rng := rand.New(rand.NewSource(3))
+	steps := scene.BuildTrajectory(scene.DefaultCamera(), scene.Challenges("fix")[0], 0, 15, rng)
+	frames, err := scene.RenderVideo(g, steps[:5], x0, y0, x1, y1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFilter(det, DefaultConfig())
+	raw, defended := f.Classify(frames, physical.RealWorld(), rng)
+	if len(raw) != 5 || len(defended) != 5 {
+		t.Fatalf("lengths %d/%d", len(raw), len(defended))
+	}
+	// The defense can only reduce (or keep) the number of reported frames.
+	rawCount, defCount := 0, 0
+	for i := range raw {
+		if raw[i].Detected {
+			rawCount++
+		}
+		if defended[i].Detected {
+			defCount++
+		}
+	}
+	if defCount > rawCount {
+		t.Fatalf("defense invented detections: %d > %d", defCount, rawCount)
+	}
+}
+
+func TestVoteConfidenceTieBreak(t *testing.T) {
+	// Equal counts: the class with higher summed confidence wins.
+	raw := []metrics.FrameResult{
+		fr(scene.Mark, 0.9), fr(scene.Word, 0.5),
+		fr(scene.Mark, 0.9), fr(scene.Word, 0.5),
+	}
+	out := Vote(raw, 4, 2)
+	if !out[3].Detected || out[3].Class != scene.Mark {
+		t.Fatalf("tie break wrong: %+v", out[3])
+	}
+}
+
+func TestVoteReportedConfidenceIsMean(t *testing.T) {
+	raw := []metrics.FrameResult{
+		fr(scene.Mark, 0.4), fr(scene.Mark, 0.8),
+	}
+	out := Vote(raw, 2, 2)
+	if out[1].Confidence < 0.59 || out[1].Confidence > 0.61 {
+		t.Fatalf("confidence = %v, want mean 0.6", out[1].Confidence)
+	}
+}

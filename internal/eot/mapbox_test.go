@@ -1,0 +1,79 @@
+package eot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadtrojan/internal/tensor"
+)
+
+func TestMapBoxIdentityWithoutGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewSampler(NewSet(3, 4)).Sample(rng, 32, 32)
+	cx, cy, w, h, ok := a.MapBox(10, 12, 4, 6)
+	if !ok || cx != 10 || cy != 12 || w != 4 || h != 6 {
+		t.Fatalf("photometric-only MapBox changed the box: %v %v %v %v %v", cx, cy, w, h, ok)
+	}
+}
+
+func TestMapBoxTracksBrightSpot(t *testing.T) {
+	// Place a bright spot, transform the image, and verify MapBox lands on
+	// the spot's new position.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 12; trial++ {
+		img := tensor.New(1, 33, 33)
+		sx, sy := 10+rng.Intn(12), 10+rng.Intn(12)
+		img.Set(1, 0, sy, sx)
+
+		a := NewSampler(NewSet(1, 2, 5)).Sample(rng, 33, 33)
+		out := a.Forward(img)
+
+		// Find the transformed spot (argmax).
+		best, bi := -1.0, 0
+		for i, v := range out.Data() {
+			if v > best {
+				best, bi = v, i
+			}
+		}
+		if best < 0.05 {
+			continue // spot warped out of frame; nothing to check
+		}
+		gotX, gotY := bi%33, bi/33
+
+		cx, cy, _, _, ok := a.MapBox(float64(sx), float64(sy), 2, 2)
+		if !ok {
+			continue
+		}
+		if math.Abs(cx-float64(gotX)) > 2.5 || math.Abs(cy-float64(gotY)) > 2.5 {
+			t.Fatalf("trial %d: MapBox says (%.1f,%.1f) but spot is at (%d,%d)", trial, cx, cy, gotX, gotY)
+		}
+	}
+}
+
+func TestMapBoxRejectsOffFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Force a strong resize so corners can leave the frame.
+	s := NewSampler(NewSet(1))
+	s.Ranges.ResizeMin, s.Ranges.ResizeMax = 0.3, 0.3
+	a := s.Sample(rng, 20, 20)
+	// A box at the very corner shrinks toward the center under s=0.3's
+	// inverse mapping... map a far out-of-frame position instead.
+	if _, _, _, _, ok := a.MapBox(500, 500, 4, 4); ok {
+		t.Fatal("far off-frame box accepted")
+	}
+}
+
+func TestMapBoxScalesSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSampler(NewSet(1))
+	s.Ranges.ResizeMin, s.Ranges.ResizeMax = 1.5, 1.5 // fixed 1.5× zoom
+	a := s.Sample(rng, 40, 40)
+	_, _, w, h, ok := a.MapBox(20, 20, 8, 8)
+	if !ok {
+		t.Fatal("center box rejected")
+	}
+	if math.Abs(w-12) > 1e-6 || math.Abs(h-12) > 1e-6 {
+		t.Fatalf("1.5× zoom should scale an 8px box to 12px, got %v×%v", w, h)
+	}
+}

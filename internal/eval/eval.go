@@ -1,0 +1,118 @@
+// Package eval runs the paper's experimental protocol: deploy a patch
+// (digitally or through the print-and-capture channel), drive the camera
+// through a challenge (rotation / speed / angles), score every frame with
+// the victim detector, and compute PWC/CWC. It also formats results in the
+// paper's table layout.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"roadtrojan/internal/attack"
+	"roadtrojan/internal/metrics"
+	"roadtrojan/internal/physical"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/yolo"
+)
+
+// Condition fixes the evaluation environment.
+type Condition struct {
+	Channel physical.Channel
+	// Runs averages this many repetitions (the paper uses 3).
+	Runs int
+	Seed int64
+	// MatchIoU is the detection↔target association threshold.
+	MatchIoU float64
+}
+
+// DefaultCondition is three physical runs.
+func DefaultCondition() Condition {
+	return Condition{Channel: physical.RealWorld(), Runs: 3, Seed: 100, MatchIoU: 0.2}
+}
+
+// Digital returns the digital-world condition (no print/capture loss).
+func Digital() Condition {
+	c := DefaultCondition()
+	c.Channel = physical.Digital()
+	return c
+}
+
+// ScoreVideo classifies the target in every frame and scores the video.
+func ScoreVideo(det *yolo.Model, frames []scene.VideoFrame, target scene.Class,
+	ch physical.Channel, rng *rand.Rand, matchIoU float64) metrics.Score {
+
+	results := make([]metrics.FrameResult, 0, len(frames))
+	opts := yolo.DefaultDecode()
+	for _, f := range frames {
+		img := f.Image
+		if ch.Enabled {
+			img = ch.Capture.Apply(rng, img)
+		}
+		if !f.TargetOK {
+			results = append(results, metrics.FrameResult{})
+			continue
+		}
+		batch := img.Reshape(1, 3, img.Dim(1), img.Dim(2))
+		heads := det.Forward(batch)
+		dets := det.DecodeSample(heads, 0, opts)
+		d, ok := yolo.MatchTarget(dets, f.TargetBox, matchIoU)
+		if !ok {
+			results = append(results, metrics.FrameResult{})
+			continue
+		}
+		results = append(results, metrics.FrameResult{Detected: true, Class: d.Class, Confidence: d.Confidence})
+	}
+	return metrics.Evaluate(results, target)
+}
+
+// RunScenario evaluates one patch (nil = no attack) under one challenge,
+// averaging cond.Runs repetitions with per-run print jobs and trajectories.
+// target is the attacker's class t (needed even without a patch: the
+// no-attack row checks that the clean detector never reports t).
+func RunScenario(det *yolo.Model, cam scene.Camera, sc attack.Scene, p *attack.Patch,
+	target scene.Class, ch scene.Challenge, cond Condition) (metrics.Score, error) {
+
+	det.SetTraining(false)
+	var scores []metrics.Score
+	for run := 0; run < cond.Runs; run++ {
+		rng := rand.New(rand.NewSource(cond.Seed + int64(run)*7919))
+		ground := sc.Ground
+		if p != nil {
+			var err error
+			ground, err = attack.Deploy(sc, p, cond.Channel, rng)
+			if err != nil {
+				return metrics.Score{}, fmt.Errorf("eval: deploy: %w", err)
+			}
+		}
+		steps := scene.BuildTrajectory(cam, ch, sc.TargetGX, sc.TargetGY, rng)
+		frames, err := scene.RenderVideo(ground, steps, sc.GX0, sc.GY0, sc.GX1, sc.GY1)
+		if err != nil {
+			return metrics.Score{}, fmt.Errorf("eval: render: %w", err)
+		}
+		scores = append(scores, ScoreVideo(det, frames, target, cond.Channel, rng, cond.MatchIoU))
+	}
+	return metrics.Average(scores), nil
+}
+
+// Row is one table row: a method name and its score per challenge.
+type Row struct {
+	Name   string
+	Scores map[string]metrics.Score
+}
+
+// RunRow evaluates a patch across the named challenges.
+func RunRow(det *yolo.Model, cam scene.Camera, sc attack.Scene, p *attack.Patch,
+	target scene.Class, name string, challengeNames []string, cond Condition) (Row, error) {
+
+	row := Row{Name: name, Scores: make(map[string]metrics.Score, len(challengeNames))}
+	for _, cn := range challengeNames {
+		ch := scene.Challenges(cn)[0]
+		s, err := RunScenario(det, cam, sc, p, target, ch, cond)
+		if err != nil {
+			return Row{}, fmt.Errorf("challenge %s: %w", cn, err)
+		}
+		row.Scores[cn] = s
+	}
+	return row, nil
+}

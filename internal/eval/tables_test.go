@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"roadtrojan/internal/metrics"
+)
+
+func sampleTable() Table {
+	return Table{
+		Title:      "Sample",
+		Challenges: []string{"fix", "slow"},
+		Rows: []Row{
+			{Name: "a", Scores: map[string]metrics.Score{
+				"fix":  {PWC: 80, CWC: true, Frames: 10},
+				"slow": {PWC: 20, CWC: false, Frames: 10},
+			}},
+			{Name: "b, with comma", Scores: map[string]metrics.Score{
+				"fix": {PWC: 5, CWC: false, Frames: 10},
+			}},
+		},
+	}
+}
+
+func TestCSVEscapesCommasAndEncodesCWC(t *testing.T) {
+	csv := sampleTable().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "method,fix_pwc,fix_cwc,slow_pwc,slow_cwc") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "80.0,1,20.0,0") {
+		t.Fatalf("row a = %q", lines[1])
+	}
+	if strings.Count(lines[2], ",") != 4 {
+		t.Fatalf("comma in name not escaped: %q", lines[2])
+	}
+}
+
+func TestTableStringAlignment(t *testing.T) {
+	out := sampleTable().String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + separator + 2 rows + title.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "method") {
+		t.Fatalf("no header: %q", lines[1])
+	}
+}
+
+func TestSpeedAngleChallengesOrder(t *testing.T) {
+	want := []string{"slow", "normal", "fast", "angle-15", "angle0", "angle+15"}
+	if len(SpeedAngleChallenges) != len(want) {
+		t.Fatalf("len = %d", len(SpeedAngleChallenges))
+	}
+	for i, w := range want {
+		if SpeedAngleChallenges[i] != w {
+			t.Fatalf("order[%d] = %q, want %q", i, SpeedAngleChallenges[i], w)
+		}
+	}
+}

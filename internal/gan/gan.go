@@ -1,0 +1,196 @@
+// Package gan implements the generative adversarial network of Sec. III:
+// a generator that synthesizes monochrome k×k adversarial patches from
+// noise, and a discriminator trained to tell them apart from Four Shapes
+// samples. The generator's full loss (Eq. 1) adds the α-weighted targeted
+// attack term, which the attack package supplies as an external gradient on
+// the generated patch.
+package gan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roadtrojan/internal/nn"
+	"roadtrojan/internal/tensor"
+)
+
+// PatchRes is the generator's native output resolution. Patches are
+// bilinearly resized to the physical print size k afterwards (the paper's k
+// sweep is a physical-size sweep; the generator capacity stays fixed).
+const PatchRes = 32
+
+// ZDim is the noise dimension.
+const ZDim = 32
+
+// Generator maps z ∈ R^ZDim to a [1,PatchRes,PatchRes] grayscale patch in
+// (0,1).
+type Generator struct {
+	net *nn.Sequential
+	bns []*nn.BatchNorm2D
+}
+
+// NewGenerator builds a DCGAN-style generator.
+func NewGenerator(rng *rand.Rand) *Generator {
+	bn1 := nn.NewBatchNorm2D("g.bn1", 32)
+	bn2 := nn.NewBatchNorm2D("g.bn2", 16)
+	bn3 := nn.NewBatchNorm2D("g.bn3", 8)
+	net := nn.NewSequential(
+		nn.NewLinear(rng, "g.fc", ZDim, 64*4*4),
+		nn.NewReshape(64, 4, 4),
+		nn.NewUpsample2D(2), // 8×8
+		nn.NewConv2D(rng, "g.c1", 64, 32, 3, 1, 1, false),
+		bn1,
+		nn.NewLeakyReLU(0.1),
+		nn.NewUpsample2D(2), // 16×16
+		nn.NewConv2D(rng, "g.c2", 32, 16, 3, 1, 1, false),
+		bn2,
+		nn.NewLeakyReLU(0.1),
+		nn.NewUpsample2D(2), // 32×32
+		nn.NewConv2D(rng, "g.c3", 16, 8, 3, 1, 1, false),
+		bn3,
+		nn.NewLeakyReLU(0.1),
+		nn.NewConv2D(rng, "g.out", 8, 1, 3, 1, 1, true),
+		nn.NewSigmoid(),
+	)
+	return &Generator{net: net, bns: []*nn.BatchNorm2D{bn1, bn2, bn3}}
+}
+
+// Forward synthesizes patches from a [n, ZDim] noise batch, returning
+// [n,1,PatchRes,PatchRes].
+func (g *Generator) Forward(z *tensor.Tensor) *tensor.Tensor {
+	return g.net.Forward(z)
+}
+
+// Backward accumulates parameter gradients from dPatch and returns dZ.
+func (g *Generator) Backward(dPatch *tensor.Tensor) *tensor.Tensor {
+	return g.net.Backward(dPatch)
+}
+
+// Params returns the generator's parameters.
+func (g *Generator) Params() []*nn.Param { return g.net.Params() }
+
+// SetTraining toggles batch-norm mode.
+func (g *Generator) SetTraining(training bool) { g.net.SetTraining(training) }
+
+// State captures parameters and BN buffers.
+func (g *Generator) State() nn.State { return stateWithBN("g", g.Params(), g.bns) }
+
+// LoadState restores parameters and BN buffers.
+func (g *Generator) LoadState(s nn.State) error { return loadWithBN("g", s, g.Params(), g.bns) }
+
+// SampleZ draws a [n, ZDim] standard-normal noise batch.
+func SampleZ(rng *rand.Rand, n int) *tensor.Tensor {
+	return tensor.NewRandN(rng, 1, n, ZDim)
+}
+
+// Discriminator scores patches: positive logits mean "real Four Shapes
+// sample".
+type Discriminator struct {
+	net *nn.Sequential
+	bns []*nn.BatchNorm2D
+}
+
+// NewDiscriminator builds a DCGAN-style critic.
+func NewDiscriminator(rng *rand.Rand) *Discriminator {
+	bn1 := nn.NewBatchNorm2D("d.bn1", 16)
+	bn2 := nn.NewBatchNorm2D("d.bn2", 32)
+	net := nn.NewSequential(
+		nn.NewConv2D(rng, "d.c1", 1, 8, 3, 2, 1, true), // 16×16
+		nn.NewLeakyReLU(0.2),
+		nn.NewConv2D(rng, "d.c2", 8, 16, 3, 2, 1, false), // 8×8
+		bn1,
+		nn.NewLeakyReLU(0.2),
+		nn.NewConv2D(rng, "d.c3", 16, 32, 3, 2, 1, false), // 4×4
+		bn2,
+		nn.NewLeakyReLU(0.2),
+		nn.NewReshape(32*4*4),
+		nn.NewLinear(rng, "d.fc", 32*4*4, 1),
+	)
+	return &Discriminator{net: net, bns: []*nn.BatchNorm2D{bn1, bn2}}
+}
+
+// Forward returns [n,1] logits.
+func (d *Discriminator) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return d.net.Forward(x)
+}
+
+// Backward accumulates parameter gradients and returns dX.
+func (d *Discriminator) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	return d.net.Backward(dOut)
+}
+
+// Params returns the discriminator's parameters.
+func (d *Discriminator) Params() []*nn.Param { return d.net.Params() }
+
+// SetTraining toggles batch-norm mode.
+func (d *Discriminator) SetTraining(training bool) { d.net.SetTraining(training) }
+
+// State captures parameters and BN buffers.
+func (d *Discriminator) State() nn.State { return stateWithBN("d", d.Params(), d.bns) }
+
+// LoadState restores parameters and BN buffers.
+func (d *Discriminator) LoadState(s nn.State) error { return loadWithBN("d", s, d.Params(), d.bns) }
+
+// BCEWithLogits returns the mean binary cross-entropy of logits [n,1]
+// against the constant target, plus d(loss)/d(logits).
+func BCEWithLogits(logits *tensor.Tensor, target float64) (float64, *tensor.Tensor) {
+	n := logits.Len()
+	grad := tensor.New(logits.Shape()...)
+	loss := 0.0
+	for i, v := range logits.Data() {
+		p := nn.SigmoidScalar(v)
+		loss += -target*math.Log(math.Max(p, 1e-12)) - (1-target)*math.Log(math.Max(1-p, 1e-12))
+		grad.Data()[i] = (p - target) / float64(n)
+	}
+	return loss / float64(n), grad
+}
+
+// DiscriminatorStep computes the standard GAN discriminator loss on a real
+// and a fake batch, accumulating parameter gradients (call ZeroGrads first,
+// then an optimizer step). It returns the loss value.
+func DiscriminatorStep(d *Discriminator, real, fake *tensor.Tensor) float64 {
+	logitsR := d.Forward(real)
+	lossR, gradR := BCEWithLogits(logitsR, 1)
+	d.Backward(gradR)
+	logitsF := d.Forward(fake)
+	lossF, gradF := BCEWithLogits(logitsF, 0)
+	d.Backward(gradF)
+	return lossR + lossF
+}
+
+// GeneratorAdversarialGrad computes the generator's GAN objective — make
+// the discriminator call fakes real — returning the loss and d(loss)/d(fake)
+// without touching discriminator parameter gradients (the caller zeroes
+// them afterwards or uses a separate optimizer).
+func GeneratorAdversarialGrad(d *Discriminator, fake *tensor.Tensor) (float64, *tensor.Tensor) {
+	logits := d.Forward(fake)
+	loss, grad := BCEWithLogits(logits, 1)
+	return loss, d.Backward(grad)
+}
+
+func stateWithBN(prefix string, params []*nn.Param, bns []*nn.BatchNorm2D) nn.State {
+	s := nn.CollectState(params)
+	for _, bn := range bns {
+		s[bn.Gamma.Name+".rmean"] = bn.RunningMean
+		s[bn.Gamma.Name+".rvar"] = bn.RunningVar
+	}
+	return s
+}
+
+func loadWithBN(prefix string, s nn.State, params []*nn.Param, bns []*nn.BatchNorm2D) error {
+	if err := nn.ApplyState(s, params); err != nil {
+		return fmt.Errorf("gan: %w", err)
+	}
+	for _, bn := range bns {
+		for suffix, dst := range map[string]*tensor.Tensor{".rmean": bn.RunningMean, ".rvar": bn.RunningVar} {
+			name := bn.Gamma.Name + suffix
+			t, ok := s[name]
+			if !ok {
+				return fmt.Errorf("gan: %w: missing buffer %q", nn.ErrBadWeights, name)
+			}
+			dst.CopyFrom(t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package imaging
+
+import "roadtrojan/internal/tensor"
+
+// BoxBlurVertical applies a length-L vertical box blur with fixed 1/L
+// weights and zero padding. Even lengths are promoted to the next odd length
+// so the window is centered, which makes the operator symmetric — it is its
+// own adjoint, so the backward pass is the same blur. It models motion blur
+// from a camera closing in on a road decal (radial flow is predominantly
+// vertical in the lower image half where decals live).
+func BoxBlurVertical(img *tensor.Tensor, l int) *tensor.Tensor {
+	if l <= 1 {
+		return img.Clone()
+	}
+	l |= 1
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	out := tensor.New(c, h, w)
+	r := l / 2
+	inv := 1 / float64(l)
+	for ch := 0; ch < c; ch++ {
+		plane := img.Data()[ch*h*w : (ch+1)*h*w]
+		oplane := out.Data()[ch*h*w : (ch+1)*h*w]
+		for x := 0; x < w; x++ {
+			// Sliding window sum down the column.
+			sum := 0.0
+			for y := -r; y <= r-1+(l%2); y++ {
+				if y >= 0 && y < h {
+					sum += plane[y*w+x]
+				}
+			}
+			for y := 0; y < h; y++ {
+				oplane[y*w+x] = sum * inv
+				lo := y - r
+				hi := y + r + (l % 2) // next window's top edge
+				if lo >= 0 && lo < h {
+					sum -= plane[lo*w+x]
+				}
+				if hi >= 0 && hi < h {
+					sum += plane[hi*w+x]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BoxBlurHorizontal is BoxBlurVertical's horizontal counterpart (also
+// odd-length, symmetric).
+func BoxBlurHorizontal(img *tensor.Tensor, l int) *tensor.Tensor {
+	if l <= 1 {
+		return img.Clone()
+	}
+	l |= 1
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	out := tensor.New(c, h, w)
+	r := l / 2
+	inv := 1 / float64(l)
+	for ch := 0; ch < c; ch++ {
+		plane := img.Data()[ch*h*w : (ch+1)*h*w]
+		oplane := out.Data()[ch*h*w : (ch+1)*h*w]
+		for y := 0; y < h; y++ {
+			row := plane[y*w : (y+1)*w]
+			orow := oplane[y*w : (y+1)*w]
+			sum := 0.0
+			for x := -r; x <= r-1+(l%2); x++ {
+				if x >= 0 && x < w {
+					sum += row[x]
+				}
+			}
+			for x := 0; x < w; x++ {
+				orow[x] = sum * inv
+				lo := x - r
+				hi := x + r + (l % 2)
+				if lo >= 0 && lo < w {
+					sum -= row[lo]
+				}
+				if hi >= 0 && hi < w {
+					sum += row[hi]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GaussianApprox approximates a Gaussian blur by three successive box blurs
+// in each direction (a standard trick); sigma is mapped to an odd box length.
+func GaussianApprox(img *tensor.Tensor, sigma float64) *tensor.Tensor {
+	if sigma <= 0 {
+		return img.Clone()
+	}
+	l := int(sigma*2) | 1 // odd length ≈ 2σ
+	if l < 3 {
+		l = 3
+	}
+	out := img
+	for i := 0; i < 3; i++ {
+		out = BoxBlurHorizontal(BoxBlurVertical(out, l), l)
+	}
+	return out
+}

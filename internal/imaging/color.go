@@ -1,0 +1,135 @@
+package imaging
+
+import (
+	"math"
+
+	"roadtrojan/internal/tensor"
+)
+
+// gammaFloor keeps x^γ differentiable near zero.
+const gammaFloor = 1e-4
+
+// Gamma applies out = clamp(x)^g elementwise — the non-linear brightness
+// adjustment the paper's EOT trick (4) uses.
+type Gamma struct {
+	G float64
+
+	lastInput *tensor.Tensor
+}
+
+// NewGamma returns a gamma-correction stage.
+func NewGamma(g float64) *Gamma { return &Gamma{G: g} }
+
+// Forward applies the power law.
+func (gm *Gamma) Forward(x *tensor.Tensor) *tensor.Tensor {
+	gm.lastInput = x
+	return x.Map(func(v float64) float64 {
+		if v < gammaFloor {
+			v = gammaFloor
+		}
+		return math.Pow(v, gm.G)
+	})
+}
+
+// Backward multiplies by g·x^(g−1) (zero where the input was clamped).
+func (gm *Gamma) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	if gm.lastInput == nil {
+		panic("imaging: Gamma.Backward called before Forward")
+	}
+	dIn := tensor.New(dOut.Shape()...)
+	for i, v := range gm.lastInput.Data() {
+		if v < gammaFloor {
+			continue // clamped region: derivative 0
+		}
+		dIn.Data()[i] = dOut.Data()[i] * gm.G * math.Pow(v, gm.G-1)
+	}
+	return dIn
+}
+
+// Brightness applies out = b·x elementwise — the linear brightness EOT
+// trick (3).
+type Brightness struct {
+	B float64
+
+	forwarded bool
+}
+
+// NewBrightness returns a multiplicative brightness stage.
+func NewBrightness(b float64) *Brightness { return &Brightness{B: b} }
+
+// Forward scales the image.
+func (br *Brightness) Forward(x *tensor.Tensor) *tensor.Tensor {
+	br.forwarded = true
+	return x.Map(func(v float64) float64 { return br.B * v })
+}
+
+// Backward scales the gradient.
+func (br *Brightness) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	if !br.forwarded {
+		panic("imaging: Brightness.Backward called before Forward")
+	}
+	return dOut.Map(func(v float64) float64 { return br.B * v })
+}
+
+// ClampUnit limits an image to [0,1]; its backward pass passes gradients
+// only where the input was strictly inside the interval.
+type ClampUnit struct {
+	lastInput *tensor.Tensor
+}
+
+// NewClampUnit returns a [0,1] clamp stage.
+func NewClampUnit() *ClampUnit { return &ClampUnit{} }
+
+// Forward clamps.
+func (cl *ClampUnit) Forward(x *tensor.Tensor) *tensor.Tensor {
+	cl.lastInput = x
+	return x.Map(func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	})
+}
+
+// Backward gates the gradient to the un-clamped region.
+func (cl *ClampUnit) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	if cl.lastInput == nil {
+		panic("imaging: ClampUnit.Backward called before Forward")
+	}
+	dIn := tensor.New(dOut.Shape()...)
+	for i, v := range cl.lastInput.Data() {
+		if v > 0 && v < 1 {
+			dIn.Data()[i] = dOut.Data()[i]
+		}
+	}
+	return dIn
+}
+
+// Grayscale converts an RGB CHW image to a single-channel luminance image
+// with Rec.601 weights.
+func Grayscale(rgb *tensor.Tensor) *tensor.Tensor {
+	h, w := rgb.Dim(1), rgb.Dim(2)
+	out := tensor.New(1, h, w)
+	n := h * w
+	r := rgb.Data()[:n]
+	g := rgb.Data()[n : 2*n]
+	b := rgb.Data()[2*n : 3*n]
+	for i := 0; i < n; i++ {
+		out.Data()[i] = 0.299*r[i] + 0.587*g[i] + 0.114*b[i]
+	}
+	return out
+}
+
+// GrayToRGB replicates a single-channel image across three channels.
+func GrayToRGB(gray *tensor.Tensor) *tensor.Tensor {
+	h, w := gray.Dim(1), gray.Dim(2)
+	out := tensor.New(3, h, w)
+	n := h * w
+	for c := 0; c < 3; c++ {
+		copy(out.Data()[c*n:(c+1)*n], gray.Data()[:n])
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHomographyMulAssociative(t *testing.T) {
+	a := Translate(1, 2)
+	b := RotateAbout(0.4, 3, 3)
+	c := ScaleXY(2, 0.5)
+	lhs := a.Mul(b).Mul(c)
+	rhs := a.Mul(b.Mul(c))
+	for _, p := range []Point{{0, 0}, {5, -2}, {1.5, 7}} {
+		x1, y1, _ := lhs.Apply(p.X, p.Y)
+		x2, y2, _ := rhs.Apply(p.X, p.Y)
+		if math.Abs(x1-x2) > 1e-9 || math.Abs(y1-y2) > 1e-9 {
+			t.Fatalf("Mul not associative at %v: (%v,%v) vs (%v,%v)", p, x1, y1, x2, y2)
+		}
+	}
+}
+
+func TestRotationPreservesDistances(t *testing.T) {
+	h := RotateAbout(1.1, 4, 4)
+	a, b := Point{1, 2}, Point{6, 3}
+	ax, ay, _ := h.Apply(a.X, a.Y)
+	bx, by, _ := h.Apply(b.X, b.Y)
+	before := math.Hypot(a.X-b.X, a.Y-b.Y)
+	after := math.Hypot(ax-bx, ay-by)
+	if math.Abs(before-after) > 1e-9 {
+		t.Fatalf("rotation changed distance: %v -> %v", before, after)
+	}
+}
+
+func TestQuadToQuadIdentityForSameQuads(t *testing.T) {
+	q := [4]Point{{1, 1}, {9, 2}, {8, 9}, {0, 8}}
+	h, err := QuadToQuad(q, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Point{{3, 3}, {5, 6}} {
+		x, y, _ := h.Apply(p.X, p.Y)
+		if math.Abs(x-p.X) > 1e-8 || math.Abs(y-p.Y) > 1e-8 {
+			t.Fatalf("identity quad map moved %v to (%v,%v)", p, x, y)
+		}
+	}
+}
+
+func TestApplyAtInfinityReportsNotOK(t *testing.T) {
+	// A projective map with a vanishing line: w = 0 along x = 1.
+	h := Homography{1, 0, 0, 0, 1, 0, -1, 0, 1}
+	if _, _, ok := h.Apply(1, 5); ok {
+		t.Fatal("point on the vanishing line must report !ok")
+	}
+	if _, _, ok := h.Apply(0.5, 5); !ok {
+		t.Fatal("regular point must report ok")
+	}
+}

@@ -1,0 +1,42 @@
+package imaging
+
+import (
+	"fmt"
+	"image"
+	"image/color/palette"
+	"image/draw"
+	"image/gif"
+	"os"
+	"path/filepath"
+
+	"roadtrojan/internal/tensor"
+)
+
+// SaveGIF writes a sequence of CHW frames as an animated GIF (delay in
+// hundredths of a second per frame). Frames are quantized to the Plan9
+// palette — good enough for road-scene previews.
+func SaveGIF(path string, frames []*tensor.Tensor, delay int) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("save gif: no frames")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("save gif: %w", err)
+	}
+	anim := &gif.GIF{}
+	for _, f := range frames {
+		src := ToImage(f)
+		pal := image.NewPaletted(src.Bounds(), palette.Plan9)
+		draw.FloydSteinberg.Draw(pal, src.Bounds(), src, image.Point{})
+		anim.Image = append(anim.Image, pal)
+		anim.Delay = append(anim.Delay, delay)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save gif: %w", err)
+	}
+	if err := gif.EncodeAll(out, anim); err != nil {
+		out.Close()
+		return fmt.Errorf("save gif %q: %w", path, err)
+	}
+	return out.Close()
+}

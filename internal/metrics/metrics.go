@@ -1,0 +1,135 @@
+// Package metrics implements the paper's two attack-success indicators:
+// PWC (Percentage of Wrong-Class frames, Eq. 3) and CWC (Continuous
+// Detection with Wrong-Class — the detector reports the attacker's target
+// class for at least three consecutive frames, the threshold at which the
+// paper's investigation found AVs confirm an object and react).
+package metrics
+
+import (
+	"fmt"
+
+	"roadtrojan/internal/scene"
+)
+
+// ConsecutiveFrames is the AV confirmation window the paper uses for CWC.
+const ConsecutiveFrames = 3
+
+// FrameResult is the detector's verdict on the target object in one frame.
+type FrameResult struct {
+	// Detected reports whether any detection matched the target box.
+	Detected bool
+	// Class is the matched detection's class (valid only when Detected).
+	Class scene.Class
+	// Confidence of the matched detection.
+	Confidence float64
+}
+
+// WrongClass reports whether the frame counts toward PWC for target class t:
+// the object was detected *and* classified as t.
+func (f FrameResult) WrongClass(t scene.Class) bool {
+	return f.Detected && f.Class == t
+}
+
+// PWC returns Eq. 3: the percentage of frames classified as the target
+// class, in [0,100]. An empty video scores 0.
+func PWC(results []FrameResult, target scene.Class) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	wrong := 0
+	for _, r := range results {
+		if r.WrongClass(target) {
+			wrong++
+		}
+	}
+	return 100 * float64(wrong) / float64(len(results))
+}
+
+// LongestWrongRun returns the longest streak of consecutive wrong-class
+// frames.
+func LongestWrongRun(results []FrameResult, target scene.Class) int {
+	best, run := 0, 0
+	for _, r := range results {
+		if r.WrongClass(target) {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return best
+}
+
+// CWC reports whether the detector held the wrong class for at least
+// ConsecutiveFrames consecutive frames.
+func CWC(results []FrameResult, target scene.Class) bool {
+	return LongestWrongRun(results, target) >= ConsecutiveFrames
+}
+
+// Score bundles both indicators for one video.
+type Score struct {
+	PWC        float64
+	CWC        bool
+	Frames     int
+	WrongRun   int
+	DetectRate float64 // fraction of frames with any target detection
+}
+
+// Evaluate computes the full score of one video's frame results.
+func Evaluate(results []FrameResult, target scene.Class) Score {
+	det := 0
+	for _, r := range results {
+		if r.Detected {
+			det++
+		}
+	}
+	rate := 0.0
+	if len(results) > 0 {
+		rate = float64(det) / float64(len(results))
+	}
+	return Score{
+		PWC:        PWC(results, target),
+		CWC:        CWC(results, target),
+		Frames:     len(results),
+		WrongRun:   LongestWrongRun(results, target),
+		DetectRate: rate,
+	}
+}
+
+// String formats a score like the paper's table cells: "78% / ✓".
+func (s Score) String() string {
+	mark := "✗"
+	if s.CWC {
+		mark = "✓"
+	}
+	return fmt.Sprintf("%.0f%% / %s", s.PWC, mark)
+}
+
+// Average returns the mean of several runs' scores (the paper averages
+// three runs); CWC is majority-voted.
+func Average(scores []Score) Score {
+	if len(scores) == 0 {
+		return Score{}
+	}
+	var out Score
+	cwc := 0
+	for _, s := range scores {
+		out.PWC += s.PWC
+		out.DetectRate += s.DetectRate
+		out.Frames += s.Frames
+		if s.WrongRun > out.WrongRun {
+			out.WrongRun = s.WrongRun
+		}
+		if s.CWC {
+			cwc++
+		}
+	}
+	n := float64(len(scores))
+	out.PWC /= n
+	out.DetectRate /= n
+	out.Frames /= len(scores)
+	out.CWC = cwc*2 > len(scores)
+	return out
+}

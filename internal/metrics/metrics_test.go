@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadtrojan/internal/scene"
+)
+
+func fr(detected bool, c scene.Class) FrameResult {
+	return FrameResult{Detected: detected, Class: c, Confidence: 0.8}
+}
+
+func TestPWCBasic(t *testing.T) {
+	results := []FrameResult{
+		fr(true, scene.Car), fr(true, scene.Mark), fr(false, 0), fr(true, scene.Car),
+	}
+	if got := PWC(results, scene.Car); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("PWC = %v, want 50", got)
+	}
+	if got := PWC(results, scene.Person); got != 0 {
+		t.Fatalf("PWC = %v, want 0", got)
+	}
+	if got := PWC(nil, scene.Car); got != 0 {
+		t.Fatalf("PWC(empty) = %v", got)
+	}
+}
+
+func TestUndetectedFramesNeverWrong(t *testing.T) {
+	// A frame with Detected=false cannot count as wrong-class even if the
+	// Class field is set.
+	results := []FrameResult{{Detected: false, Class: scene.Car}}
+	if PWC(results, scene.Car) != 0 {
+		t.Fatal("undetected frame counted as wrong-class")
+	}
+}
+
+func TestCWCRequiresThreeConsecutive(t *testing.T) {
+	w := fr(true, scene.Car)
+	r := fr(true, scene.Mark)
+	tests := []struct {
+		name    string
+		results []FrameResult
+		want    bool
+	}{
+		{name: "empty", results: nil, want: false},
+		{name: "two in a row", results: []FrameResult{w, w, r, w, w}, want: false},
+		{name: "exactly three", results: []FrameResult{r, w, w, w, r}, want: true},
+		{name: "interrupted", results: []FrameResult{w, w, r, w, w, r, w}, want: false},
+		{name: "all wrong", results: []FrameResult{w, w, w, w}, want: true},
+		{name: "gap by missed detection", results: []FrameResult{w, w, fr(false, scene.Car), w}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CWC(tt.results, scene.Car); got != tt.want {
+				t.Fatalf("CWC = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLongestWrongRun(t *testing.T) {
+	w := fr(true, scene.Car)
+	r := fr(true, scene.Mark)
+	results := []FrameResult{w, r, w, w, w, w, r, w, w}
+	if got := LongestWrongRun(results, scene.Car); got != 4 {
+		t.Fatalf("run = %d, want 4", got)
+	}
+}
+
+func TestEvaluateAndString(t *testing.T) {
+	w := fr(true, scene.Car)
+	r := fr(true, scene.Mark)
+	s := Evaluate([]FrameResult{w, w, w, r}, scene.Car)
+	if math.Abs(s.PWC-75) > 1e-12 || !s.CWC || s.Frames != 4 || s.WrongRun != 3 {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.DetectRate != 1 {
+		t.Fatalf("detect rate = %v", s.DetectRate)
+	}
+	if s.String() != "75% / ✓" {
+		t.Fatalf("String = %q", s.String())
+	}
+	s2 := Evaluate([]FrameResult{r, r}, scene.Car)
+	if s2.String() != "0% / ✗" {
+		t.Fatalf("String = %q", s2.String())
+	}
+}
+
+func TestAverageThreeRuns(t *testing.T) {
+	scores := []Score{
+		{PWC: 90, CWC: true, Frames: 10, WrongRun: 9, DetectRate: 1},
+		{PWC: 60, CWC: true, Frames: 10, WrongRun: 6, DetectRate: 0.8},
+		{PWC: 30, CWC: false, Frames: 10, WrongRun: 2, DetectRate: 0.6},
+	}
+	avg := Average(scores)
+	if math.Abs(avg.PWC-60) > 1e-12 {
+		t.Fatalf("avg PWC = %v", avg.PWC)
+	}
+	if !avg.CWC {
+		t.Fatal("majority CWC should be true")
+	}
+	if avg.WrongRun != 9 {
+		t.Fatalf("max run = %d", avg.WrongRun)
+	}
+	if Average(nil).Frames != 0 {
+		t.Fatal("empty average must be zero")
+	}
+}
+
+func TestPropPWCBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40)
+		results := make([]FrameResult, n)
+		for i := range results {
+			results[i] = FrameResult{
+				Detected: r.Float64() < 0.7,
+				Class:    scene.ClassFromIndex(r.Intn(scene.NumClasses)),
+			}
+		}
+		p := PWC(results, scene.Car)
+		if p < 0 || p > 100 {
+			return false
+		}
+		// CWC implies at least 3 wrong frames, implying PWC ≥ 300/n.
+		if CWC(results, scene.Car) && n > 0 && p < 300/float64(n)-1e-9 {
+			return false
+		}
+		// Run length never exceeds the frame count.
+		return LongestWrongRun(results, scene.Car) <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMonotoneUnderMoreWrongFrames(t *testing.T) {
+	// Flipping any frame to wrong-class never lowers PWC.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		results := make([]FrameResult, n)
+		for i := range results {
+			results[i] = FrameResult{Detected: r.Float64() < 0.5, Class: scene.Mark}
+		}
+		before := PWC(results, scene.Car)
+		i := r.Intn(n)
+		results[i] = fr(true, scene.Car)
+		return PWC(results, scene.Car) >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverageSingleRun(t *testing.T) {
+	s := Score{PWC: 42, CWC: true, Frames: 7, WrongRun: 3, DetectRate: 0.5}
+	avg := Average([]Score{s})
+	if avg.PWC != 42 || !avg.CWC || avg.Frames != 7 {
+		t.Fatalf("single-run average changed the score: %+v", avg)
+	}
+}
+
+func TestAverageCWCMajorityTies(t *testing.T) {
+	// 1-of-2 CWC is not a majority.
+	avg := Average([]Score{{CWC: true}, {CWC: false}})
+	if avg.CWC {
+		t.Fatal("tie must not report CWC")
+	}
+	avg = Average([]Score{{CWC: true}, {CWC: true}, {CWC: false}})
+	if !avg.CWC {
+		t.Fatal("2-of-3 must report CWC")
+	}
+}
+
+func TestScoreStringRounding(t *testing.T) {
+	s := Score{PWC: 77.6, CWC: false}
+	if s.String() != "78% / ✗" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

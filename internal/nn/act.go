@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"math"
+
+	"roadtrojan/internal/tensor"
+)
+
+// LeakyReLU applies max(x, slope*x) elementwise; darknet uses slope 0.1.
+type LeakyReLU struct {
+	Slope float64
+
+	lastInput *tensor.Tensor
+}
+
+var _ Module = (*LeakyReLU)(nil)
+
+// NewLeakyReLU returns a leaky rectifier with the given negative slope.
+func NewLeakyReLU(slope float64) *LeakyReLU { return &LeakyReLU{Slope: slope} }
+
+// Forward applies the rectifier.
+func (l *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.lastInput = x
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data() {
+		if v > 0 {
+			out.Data()[i] = v
+		} else {
+			out.Data()[i] = l.Slope * v
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient with the rectifier's derivative.
+func (l *LeakyReLU) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	mustForwarded(l.lastInput, "LeakyReLU")
+	dIn := tensor.New(dOut.Shape()...)
+	for i, v := range l.lastInput.Data() {
+		if v > 0 {
+			dIn.Data()[i] = dOut.Data()[i]
+		} else {
+			dIn.Data()[i] = l.Slope * dOut.Data()[i]
+		}
+	}
+	return dIn
+}
+
+// Params returns nil.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Sigmoid applies 1/(1+e^-x) elementwise.
+type Sigmoid struct {
+	lastOutput *tensor.Tensor
+}
+
+var _ Module = (*Sigmoid)(nil)
+
+// NewSigmoid returns a sigmoid activation module.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies the logistic function.
+func (s *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Map(SigmoidScalar)
+	s.lastOutput = out
+	return out
+}
+
+// Backward multiplies by σ(x)(1−σ(x)).
+func (s *Sigmoid) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	mustForwarded(s.lastOutput, "Sigmoid")
+	dIn := tensor.New(dOut.Shape()...)
+	for i, y := range s.lastOutput.Data() {
+		dIn.Data()[i] = dOut.Data()[i] * y * (1 - y)
+	}
+	return dIn
+}
+
+// Params returns nil.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	lastOutput *tensor.Tensor
+}
+
+var _ Module = (*Tanh)(nil)
+
+// NewTanh returns a tanh activation module.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh.
+func (t *Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Map(math.Tanh)
+	t.lastOutput = out
+	return out
+}
+
+// Backward multiplies by 1−tanh².
+func (t *Tanh) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	mustForwarded(t.lastOutput, "Tanh")
+	dIn := tensor.New(dOut.Shape()...)
+	for i, y := range t.lastOutput.Data() {
+		dIn.Data()[i] = dOut.Data()[i] * (1 - y*y)
+	}
+	return dIn
+}
+
+// Params returns nil.
+func (t *Tanh) Params() []*Param { return nil }
+
+// SigmoidScalar is the logistic function on a scalar, shared by modules and
+// the YOLO decoder.
+func SigmoidScalar(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// MaxPool2D is a max-pooling module (kernel/stride per darknet configs).
+type MaxPool2D struct {
+	Kernel, Stride int
+
+	lastShape []int
+	lastArg   []int32
+}
+
+var _ Module = (*MaxPool2D)(nil)
+
+// NewMaxPool2D returns a pooling module.
+func NewMaxPool2D(kernel, stride int) *MaxPool2D {
+	return &MaxPool2D{Kernel: kernel, Stride: stride}
+}
+
+// Forward pools the input.
+func (m *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	m.lastShape = x.Shape()
+	out, arg := tensor.MaxPool2D(x, m.Kernel, m.Stride)
+	m.lastArg = arg
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (m *MaxPool2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	if m.lastShape == nil {
+		panic("nn: MaxPool2D.Backward called before Forward")
+	}
+	return tensor.MaxPool2DBackward(m.lastShape, dOut, m.lastArg)
+}
+
+// Params returns nil.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// Upsample2D nearest-neighbour upsamples by an integer factor.
+type Upsample2D struct {
+	Factor int
+
+	forwarded bool
+}
+
+var _ Module = (*Upsample2D)(nil)
+
+// NewUpsample2D returns an upsampling module.
+func NewUpsample2D(factor int) *Upsample2D { return &Upsample2D{Factor: factor} }
+
+// Forward upsamples the input.
+func (u *Upsample2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	u.forwarded = true
+	return tensor.Upsample2D(x, u.Factor)
+}
+
+// Backward pools the gradient back down by summation.
+func (u *Upsample2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	if !u.forwarded {
+		panic("nn: Upsample2D.Backward called before Forward")
+	}
+	return tensor.Upsample2DBackward(dOut, u.Factor)
+}
+
+// Params returns nil.
+func (u *Upsample2D) Params() []*Param { return nil }

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"roadtrojan/internal/tensor"
+)
+
+// Conv2D is a batched 2-D convolution layer over NCHW input.
+type Conv2D struct {
+	Weight *Param // [OC, C, K, K]
+	Bias   *Param // [OC], nil when the layer is followed by BatchNorm
+
+	InC, OutC, Kernel, Stride, Pad int
+
+	lastInput *tensor.Tensor
+}
+
+var _ Module = (*Conv2D)(nil)
+
+// NewConv2D creates a convolution with He-normal initialized weights. Pass
+// withBias=false for conv+BN stacks (darknet convention).
+func NewConv2D(rng *rand.Rand, name string, inC, outC, kernel, stride, pad int, withBias bool) *Conv2D {
+	fanIn := float64(inC * kernel * kernel)
+	std := math.Sqrt(2 / fanIn)
+	c := &Conv2D{
+		Weight: NewParam(name+".weight", tensor.NewRandN(rng, std, outC, inC, kernel, kernel)),
+		InC:    inC, OutC: outC, Kernel: kernel, Stride: stride, Pad: pad,
+	}
+	if withBias {
+		c.Bias = NewParam(name+".bias", tensor.New(outC))
+	}
+	return c
+}
+
+// Forward computes the cross-correlation of x with the layer weights.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.lastInput = x
+	var b *tensor.Tensor
+	if c.Bias != nil {
+		b = c.Bias.Value
+	}
+	return tensor.Conv2D(x, c.Weight.Value, b, c.Stride, c.Pad)
+}
+
+// Backward accumulates weight/bias gradients and returns dInput.
+func (c *Conv2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	mustForwarded(c.lastInput, "Conv2D")
+	var dB *tensor.Tensor
+	if c.Bias != nil {
+		dB = c.Bias.Grad
+	}
+	return tensor.Conv2DBackward(c.lastInput, c.Weight.Value, dOut, c.Stride, c.Pad, c.Weight.Grad, dB)
+}
+
+// Params returns the layer's parameters.
+func (c *Conv2D) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+// Linear is a fully connected layer on [N, In] input.
+type Linear struct {
+	Weight *Param // [In, Out]
+	Bias   *Param // [Out]
+
+	In, Out int
+
+	lastInput *tensor.Tensor
+}
+
+var _ Module = (*Linear)(nil)
+
+// NewLinear creates a dense layer with He-normal weights and zero bias.
+func NewLinear(rng *rand.Rand, name string, in, out int) *Linear {
+	std := math.Sqrt(2 / float64(in))
+	return &Linear{
+		Weight: NewParam(name+".weight", tensor.NewRandN(rng, std, in, out)),
+		Bias:   NewParam(name+".bias", tensor.New(out)),
+		In:     in, Out: out,
+	}
+}
+
+// Forward computes x @ W + b.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	x2 := x.Reshape(x.Dim(0), -1)
+	l.lastInput = x2
+	out := tensor.MatMul(x2, l.Weight.Value)
+	n := out.Dim(0)
+	for r := 0; r < n; r++ {
+		row := out.Data()[r*l.Out : (r+1)*l.Out]
+		for i := range row {
+			row[i] += l.Bias.Value.Data()[i]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = xᵀ dOut, dB = Σ dOut and returns dOut @ Wᵀ.
+func (l *Linear) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	mustForwarded(l.lastInput, "Linear")
+	xT := tensor.Transpose2D(l.lastInput)
+	tensor.MatMulAccum(l.Weight.Grad, xT, dOut)
+	l.Bias.Grad.AddInPlace(tensor.SumAxis0(dOut))
+	wT := tensor.Transpose2D(l.Weight.Value)
+	return tensor.MatMul(dOut, wT)
+}
+
+// Params returns the layer's parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Reshape is a parameterless module that reinterprets its input's shape,
+// keeping the batch dimension and reshaping the rest to the given dims.
+type Reshape struct {
+	Dims []int
+
+	lastShape []int
+}
+
+var _ Module = (*Reshape)(nil)
+
+// NewReshape returns a module reshaping [N, ...] to [N, dims...].
+func NewReshape(dims ...int) *Reshape { return &Reshape{Dims: dims} }
+
+// Forward reshapes to [N, Dims...].
+func (r *Reshape) Forward(x *tensor.Tensor) *tensor.Tensor {
+	r.lastShape = x.Shape()
+	shape := append([]int{x.Dim(0)}, r.Dims...)
+	return x.Reshape(shape...)
+}
+
+// Backward restores the pre-Forward shape.
+func (r *Reshape) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	if r.lastShape == nil {
+		panic("nn: Reshape.Backward called before Forward")
+	}
+	return dOut.Reshape(r.lastShape...)
+}
+
+// Params returns nil; Reshape has no parameters.
+func (r *Reshape) Params() []*Param { return nil }

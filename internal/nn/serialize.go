@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"roadtrojan/internal/tensor"
+)
+
+// State is a named collection of tensors — parameters plus persistent
+// buffers such as batch-norm running statistics.
+type State map[string]*tensor.Tensor
+
+// ErrBadWeights is returned when a weights stream is corrupt or has the
+// wrong magic/version.
+var ErrBadWeights = errors.New("nn: malformed weights data")
+
+const (
+	weightsMagic   = uint32(0x52545754) // "RTWT"
+	weightsVersion = uint32(1)
+)
+
+// SaveState writes the state to w in a deterministic binary format
+// (entries sorted by name).
+func SaveState(w io.Writer, state State) error {
+	bw := bufio.NewWriter(w)
+	names := make([]string, 0, len(state))
+	for n := range state {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	hdr := []uint32{weightsMagic, weightsVersion, uint32(len(names))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		t := state[name]
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		shape := t.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 8*t.Len())
+		for i, v := range t.Data() {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadState reads a state previously written by SaveState.
+func LoadState(r io.Reader) (State, error) {
+	br := bufio.NewReader(r)
+	var magic, version, count uint32
+	for _, p := range []*uint32{&magic, &version, &count} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("%w: short header: %v", ErrBadWeights, err)
+		}
+	}
+	if magic != weightsMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadWeights, magic)
+	}
+	if version != weightsVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadWeights, version)
+	}
+	const maxEntries = 1 << 20
+	if count > maxEntries {
+		return nil, fmt.Errorf("%w: implausible entry count %d", ErrBadWeights, count)
+	}
+	state := make(State, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadWeights, err)
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("%w: name length %d", ErrBadWeights, nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadWeights, err)
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadWeights, err)
+		}
+		if rank > 8 {
+			return nil, fmt.Errorf("%w: rank %d", ErrBadWeights, rank)
+		}
+		shape := make([]int, rank)
+		n := 1
+		for d := range shape {
+			var dim uint32
+			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadWeights, err)
+			}
+			shape[d] = int(dim)
+			n *= int(dim)
+		}
+		const maxElems = 1 << 28
+		if n > maxElems {
+			return nil, fmt.Errorf("%w: tensor %q too large (%d elements)", ErrBadWeights, nameBuf, n)
+		}
+		buf := make([]byte, 8*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated tensor %q: %v", ErrBadWeights, nameBuf, err)
+		}
+		data := make([]float64, n)
+		for j := range data {
+			data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+		state[string(nameBuf)] = tensor.FromSlice(data, shape...)
+	}
+	return state, nil
+}
+
+// SaveStateFile writes state to path, creating parent-less files atomically
+// enough for this project (write then rename is overkill here).
+func SaveStateFile(path string, state State) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save weights: %w", err)
+	}
+	if err := SaveState(f, state); err != nil {
+		f.Close()
+		return fmt.Errorf("save weights: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadStateFile reads a state file from path.
+func LoadStateFile(path string) (State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load weights: %w", err)
+	}
+	defer f.Close()
+	state, err := LoadState(f)
+	if err != nil {
+		return nil, fmt.Errorf("load weights %q: %w", path, err)
+	}
+	return state, nil
+}
+
+// ApplyState copies entries from state into the matching parameters by name.
+// Every parameter must be present with a matching element count.
+func ApplyState(state State, params []*Param) error {
+	for _, p := range params {
+		t, ok := state[p.Name]
+		if !ok {
+			return fmt.Errorf("%w: missing parameter %q", ErrBadWeights, p.Name)
+		}
+		if t.Len() != p.Value.Len() {
+			return fmt.Errorf("%w: parameter %q has %d elements, want %d", ErrBadWeights, p.Name, t.Len(), p.Value.Len())
+		}
+		p.Value.CopyFrom(t)
+	}
+	return nil
+}
+
+// CollectState builds a State from parameters.
+func CollectState(params []*Param) State {
+	s := make(State, len(params))
+	for _, p := range params {
+		s[p.Name] = p.Value
+	}
+	return s
+}

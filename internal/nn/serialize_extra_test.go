@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"roadtrojan/internal/tensor"
+)
+
+func TestSaveStateDeterministicBytes(t *testing.T) {
+	state := State{
+		"b": tensor.FromSlice([]float64{1, 2}, 2),
+		"a": tensor.FromSlice([]float64{3}, 1),
+	}
+	var x, y bytes.Buffer
+	if err := SaveState(&x, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveState(&y, state); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x.Bytes(), y.Bytes()) {
+		t.Fatal("SaveState must be byte-deterministic (sorted names)")
+	}
+}
+
+func TestLoadStateRejectsImplausibleCounts(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(0x52545754))
+	binary.Write(&buf, binary.LittleEndian, uint32(1))
+	binary.Write(&buf, binary.LittleEndian, uint32(1<<21)) // > maxEntries
+	if _, err := LoadState(&buf); err == nil {
+		t.Fatal("expected error for implausible entry count")
+	}
+}
+
+func TestStatePreservesSpecialFloats(t *testing.T) {
+	state := State{"x": tensor.FromSlice([]float64{math.Inf(1), math.SmallestNonzeroFloat64, math.Copysign(0, -1)}, 3)}
+	var buf bytes.Buffer
+	if err := SaveState(&buf, state); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := got["x"].Data()
+	if !math.IsInf(d[0], 1) || d[1] != math.SmallestNonzeroFloat64 || math.Signbit(d[2]) != true {
+		t.Fatalf("special floats drifted: %v", d)
+	}
+}

@@ -1,0 +1,137 @@
+// Package optim provides gradient-descent optimizers over nn parameters.
+package optim
+
+import (
+	"math"
+
+	"roadtrojan/internal/nn"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (call
+	// nn.ZeroGrads afterwards).
+	Step()
+	// SetLR changes the learning rate.
+	SetLR(lr float64)
+	// LR reports the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight decay.
+type SGD struct {
+	params   []*nn.Param
+	lr       float64
+	momentum float64
+	decay    float64
+	velocity [][]float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(params []*nn.Param, lr, momentum, weightDecay float64) *SGD {
+	v := make([][]float64, len(params))
+	for i, p := range params {
+		v[i] = make([]float64, p.Value.Len())
+	}
+	return &SGD{params: params, lr: lr, momentum: momentum, decay: weightDecay, velocity: v}
+}
+
+// Step applies v = m·v − lr·(g + wd·w); w += v.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		v := s.velocity[i]
+		for j := range w {
+			grad := g[j] + s.decay*w[j]
+			v[j] = s.momentum*v[j] - s.lr*grad
+			w[j] += v[j]
+		}
+	}
+}
+
+// SetLR changes the learning rate.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR reports the learning rate.
+func (s *SGD) LR() float64 { return s.lr }
+
+// Adam implements the Adam optimizer (Kingma & Ba); the paper trains both
+// its GAN and the baseline attack with Adam.
+type Adam struct {
+	params []*nn.Param
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	t      int
+	m, v   [][]float64
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam creates an Adam optimizer with the canonical β₁=0.9, β₂=0.999.
+func NewAdam(params []*nn.Param, lr float64) *Adam {
+	m := make([][]float64, len(params))
+	v := make([][]float64, len(params))
+	for i, p := range params {
+		m[i] = make([]float64, p.Value.Len())
+		v[i] = make([]float64, p.Value.Len())
+	}
+	return &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: m, v: v}
+}
+
+// Step applies one bias-corrected Adam update.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range a.params {
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		m := a.m[i]
+		v := a.v[i]
+		for j := range w {
+			m[j] = a.beta1*m[j] + (1-a.beta1)*g[j]
+			v[j] = a.beta2*v[j] + (1-a.beta2)*g[j]*g[j]
+			mh := m[j] / c1
+			vh := v[j] / c2
+			w[j] -= a.lr * mh / (math.Sqrt(vh) + a.eps)
+		}
+	}
+}
+
+// SetLR changes the learning rate.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR reports the learning rate.
+func (a *Adam) LR() float64 { return a.lr }
+
+// ClipGradNorm scales gradients so their global L2 norm is at most maxNorm.
+// It returns the pre-clip norm.
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// StepDecay returns base·gamma^(epoch/every) — a simple step LR schedule.
+func StepDecay(base float64, epoch, every int, gamma float64) float64 {
+	if every <= 0 {
+		return base
+	}
+	return base * math.Pow(gamma, float64(epoch/every))
+}

@@ -1,0 +1,153 @@
+// Package physical models the digital→physical gap the paper's evaluation
+// crosses: printing a patch (printer gamut compression, per-channel color
+// error, dot gain) and recapturing the scene with a camera (blur, sensor
+// noise, illumination drift). The central asymmetry — chrominance error is
+// much larger than luminance error — is exactly why the paper restricts its
+// decals to a single color: colored perturbations (the baseline [34]) are
+// corrupted far more by printing than monochrome ones.
+package physical
+
+import (
+	"math/rand"
+
+	"roadtrojan/internal/imaging"
+	"roadtrojan/internal/tensor"
+)
+
+// PrintModel describes one printer/material realization. Draw one PrintJob
+// per physical decal: a printed artifact has a *fixed* color error baked in,
+// which is what breaks attacks optimized for exact digital colors.
+type PrintModel struct {
+	// ChromaGainStd is the per-channel multiplicative gain error applied to
+	// colored content (printer calibration mismatch).
+	ChromaGainStd float64
+	// LumaGainStd is the overall lightness gain error; monochrome content
+	// only suffers this (plus gamut compression).
+	LumaGainStd float64
+	// GamutLow/GamutHigh compress the tonal range: printers reproduce
+	// neither pure black nor pure white.
+	GamutLow, GamutHigh float64
+	// DotGain is the print-blur length in patch pixels.
+	DotGain int
+}
+
+// DefaultPrintModel matches a consumer printer on adhesive vinyl.
+func DefaultPrintModel() PrintModel {
+	return PrintModel{
+		ChromaGainStd: 0.33,
+		LumaGainStd:   0.025,
+		GamutLow:      0.05,
+		GamutHigh:     0.95,
+		DotGain:       3,
+	}
+}
+
+// PrintJob is a sampled realization of a print run.
+type PrintJob struct {
+	model PrintModel
+	luma  float64    // shared lightness gain error
+	gains [3]float64 // per-channel gain (luma · chroma error)
+	offs  [3]float64 // per-channel additive shift
+}
+
+// NewJob samples a print realization.
+func (m PrintModel) NewJob(rng *rand.Rand) *PrintJob {
+	j := &PrintJob{model: m, luma: 1 + rng.NormFloat64()*m.LumaGainStd}
+	for c := 0; c < 3; c++ {
+		j.gains[c] = j.luma * (1 + rng.NormFloat64()*m.ChromaGainStd)
+		j.offs[c] = rng.NormFloat64() * m.ChromaGainStd * 0.25
+	}
+	return j
+}
+
+// PrintRGB pushes a [3,k,k] colored patch through the print channel. The
+// full chroma error applies: each channel gets its own gain and offset.
+func (j *PrintJob) PrintRGB(patch *tensor.Tensor) *tensor.Tensor {
+	out := patch.Clone()
+	k1, k2 := out.Dim(1), out.Dim(2)
+	n := k1 * k2
+	for c := 0; c < 3; c++ {
+		seg := out.Data()[c*n : (c+1)*n]
+		for i := range seg {
+			seg[i] = seg[i]*j.gains[c] + j.offs[c]
+		}
+	}
+	j.finish(out)
+	return out
+}
+
+// PrintGray pushes a [1,k,k] monochrome patch through the print channel.
+// Only the shared luminance error applies — per-channel chroma error cannot
+// corrupt a single-ink print, the paper's core robustness argument.
+func (j *PrintJob) PrintGray(patch *tensor.Tensor) *tensor.Tensor {
+	out := patch.Clone()
+	for i, v := range out.Data() {
+		out.Data()[i] = v * j.luma
+	}
+	j.finish(out)
+	return out
+}
+
+// finish applies gamut compression and dot gain in place.
+func (j *PrintJob) finish(t *tensor.Tensor) {
+	lo, hi := j.model.GamutLow, j.model.GamutHigh
+	for i, v := range t.Data() {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		t.Data()[i] = lo + v*(hi-lo)
+	}
+	if j.model.DotGain > 1 {
+		blurred := imaging.BoxBlurHorizontal(imaging.BoxBlurVertical(t, j.model.DotGain), j.model.DotGain)
+		t.CopyFrom(blurred)
+	}
+}
+
+// CaptureModel is the camera-side half of the channel, applied per frame.
+type CaptureModel struct {
+	BlurSigma float64
+	NoiseStd  float64
+	GainStd   float64 // per-frame exposure drift
+}
+
+// DefaultCaptureModel matches a dashcam-grade sensor. The blur is mild: at
+// the substrate's 64×64 resolution every frame pixel already integrates a
+// large scene area, so heavy optics blur would be double-counting.
+func DefaultCaptureModel() CaptureModel {
+	return CaptureModel{BlurSigma: 0.35, NoiseStd: 0.008, GainStd: 0.02}
+}
+
+// Apply returns the frame as re-captured: optics blur, exposure drift and
+// sensor noise, clamped to [0,1]. Sub-pixel blur sigmas (< 0.5) are treated
+// as already absorbed by the sensor's pixel integration and skipped.
+func (c CaptureModel) Apply(rng *rand.Rand, frame *tensor.Tensor) *tensor.Tensor {
+	out := frame
+	if c.BlurSigma >= 0.5 {
+		out = imaging.GaussianApprox(out, c.BlurSigma)
+	} else {
+		out = out.Clone()
+	}
+	gain := 1 + rng.NormFloat64()*c.GainStd
+	for i := range out.Data() {
+		out.Data()[i] = out.Data()[i]*gain + rng.NormFloat64()*c.NoiseStd
+	}
+	return out.Clamp(0, 1)
+}
+
+// Channel bundles the print and capture halves plus a switch, so callers
+// can run the same code path in digital and physical mode.
+type Channel struct {
+	Enabled bool
+	Print   PrintModel
+	Capture CaptureModel
+}
+
+// Digital returns a disabled channel (the paper's digital-world setting).
+func Digital() Channel { return Channel{} }
+
+// RealWorld returns the full print-and-capture channel.
+func RealWorld() Channel {
+	return Channel{Enabled: true, Print: DefaultPrintModel(), Capture: DefaultCaptureModel()}
+}

@@ -1,0 +1,190 @@
+package physical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadtrojan/internal/imaging"
+	"roadtrojan/internal/tensor"
+)
+
+func TestPrintGrayAppliesOnlyLumaError(t *testing.T) {
+	m := DefaultPrintModel()
+	m.DotGain = 0 // isolate the color model
+	rng := rand.New(rand.NewSource(1))
+
+	// Over many print jobs, the error of a gray patch must be much smaller
+	// than the error of an equally-bright colored patch.
+	gray := tensor.Full(0.5, 1, 8, 8)
+	colored := tensor.New(3, 8, 8)
+	colored.Fill(0.5)
+
+	var grayErr, colorErr float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		job := m.NewJob(rng)
+		pg := job.PrintGray(gray)
+		grayErr += math.Abs(pg.Mean() - gamutOf(m, 0.5))
+		pc := job.PrintRGB(colored)
+		// Chroma error: per-channel deviation from the mean channel value.
+		n := 64
+		var chMeans [3]float64
+		for c := 0; c < 3; c++ {
+			for j := 0; j < n; j++ {
+				chMeans[c] += pc.Data()[c*n+j]
+			}
+			chMeans[c] /= float64(n)
+		}
+		avg := (chMeans[0] + chMeans[1] + chMeans[2]) / 3
+		for c := 0; c < 3; c++ {
+			colorErr += math.Abs(chMeans[c] - avg)
+		}
+	}
+	grayErr /= trials
+	colorErr /= trials * 3
+	if colorErr < 2*grayErr {
+		t.Fatalf("chroma error (%v) should dominate luma error (%v)", colorErr, grayErr)
+	}
+}
+
+func gamutOf(m PrintModel, v float64) float64 {
+	return m.GamutLow + v*(m.GamutHigh-m.GamutLow)
+}
+
+func TestPrintGamutCompression(t *testing.T) {
+	m := DefaultPrintModel()
+	m.LumaGainStd, m.ChromaGainStd, m.DotGain = 0, 0, 0
+	job := m.NewJob(rand.New(rand.NewSource(2)))
+	black := tensor.New(1, 4, 4)
+	white := tensor.Ones(1, 4, 4)
+	pb := job.PrintGray(black)
+	pw := job.PrintGray(white)
+	if math.Abs(pb.Mean()-m.GamutLow) > 1e-9 {
+		t.Fatalf("printed black = %v, want %v", pb.Mean(), m.GamutLow)
+	}
+	if math.Abs(pw.Mean()-m.GamutHigh) > 1e-9 {
+		t.Fatalf("printed white = %v, want %v", pw.Mean(), m.GamutHigh)
+	}
+}
+
+func TestPrintDotGainBlurs(t *testing.T) {
+	m := DefaultPrintModel()
+	m.LumaGainStd, m.ChromaGainStd = 0, 0
+	job := m.NewJob(rand.New(rand.NewSource(3)))
+	spike := tensor.New(1, 9, 9)
+	spike.Set(1, 0, 4, 4)
+	out := job.PrintGray(spike)
+	center := out.At(0, 4, 4)
+	neighbor := out.At(0, 3, 4)
+	if center >= gamutOf(m, 1) {
+		t.Fatal("dot gain did not spread the spike")
+	}
+	if neighbor <= gamutOf(m, 0) {
+		t.Fatal("dot gain did not reach the neighbor")
+	}
+}
+
+func TestPrintJobDeterministicPerJob(t *testing.T) {
+	m := DefaultPrintModel()
+	job := m.NewJob(rand.New(rand.NewSource(4)))
+	patch := tensor.NewRandU(rand.New(rand.NewSource(5)), 0, 1, 3, 6, 6)
+	a := job.PrintRGB(patch)
+	b := job.PrintRGB(patch)
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("the same print job must be deterministic")
+	}
+	// Different jobs differ.
+	job2 := m.NewJob(rand.New(rand.NewSource(6)))
+	c := job2.PrintRGB(patch)
+	if tensor.MaxAbsDiff(a, c) == 0 {
+		t.Fatal("distinct print jobs should differ")
+	}
+}
+
+func TestCaptureKeepsRangeAndAddsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	frame := tensor.Full(0.5, 3, 16, 16)
+	cm := DefaultCaptureModel()
+	out := cm.Apply(rng, frame)
+	if out.Min() < 0 || out.Max() > 1 {
+		t.Fatal("capture escaped [0,1]")
+	}
+	if tensor.MaxAbsDiff(frame, out) == 0 {
+		t.Fatal("capture added no noise")
+	}
+	// Original frame untouched.
+	if frame.At(0, 0, 0) != 0.5 {
+		t.Fatal("capture mutated its input")
+	}
+}
+
+func TestCaptureNoBlurPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cm := CaptureModel{BlurSigma: 0, NoiseStd: 0, GainStd: 0}
+	frame := tensor.NewRandU(rng, 0, 1, 3, 8, 8)
+	out := cm.Apply(rng, frame)
+	if tensor.MaxAbsDiff(frame, out) != 0 {
+		t.Fatal("zeroed capture model must be identity")
+	}
+}
+
+func TestChannelSwitches(t *testing.T) {
+	if Digital().Enabled {
+		t.Fatal("digital channel must be disabled")
+	}
+	rw := RealWorld()
+	if !rw.Enabled || rw.Print.ChromaGainStd <= 0 {
+		t.Fatal("real-world channel misconfigured")
+	}
+}
+
+func TestPrintPreservesStructureForGray(t *testing.T) {
+	// A monochrome star silhouette survives printing recognizably: the
+	// correlation between pre- and post-print images stays high.
+	m := DefaultPrintModel()
+	rng := rand.New(rand.NewSource(9))
+	patch := tensor.New(1, 16, 16)
+	for y := 4; y < 12; y++ {
+		for x := 4; x < 12; x++ {
+			patch.Set(1, 0, y, x)
+		}
+	}
+	job := m.NewJob(rng)
+	printed := job.PrintGray(patch)
+	if corr := correlation(patch, printed); corr < 0.9 {
+		t.Fatalf("monochrome print correlation %v too low", corr)
+	}
+}
+
+func correlation(a, b *tensor.Tensor) float64 {
+	ma, mb := a.Mean(), b.Mean()
+	var num, da, db float64
+	for i := range a.Data() {
+		x := a.Data()[i] - ma
+		y := b.Data()[i] - mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+func TestGrayToRGBPrintEquivalence(t *testing.T) {
+	// Printing gray directly must equal printing the replicated-RGB version
+	// in luminance terms when chroma error is zero.
+	m := DefaultPrintModel()
+	m.ChromaGainStd = 0
+	m.DotGain = 0
+	job := m.NewJob(rand.New(rand.NewSource(10)))
+	gray := tensor.NewRandU(rand.New(rand.NewSource(11)), 0, 1, 1, 5, 5)
+	pg := job.PrintGray(gray)
+	prgb := job.PrintRGB(imaging.GrayToRGB(gray))
+	lum := imaging.Grayscale(prgb)
+	if d := tensor.MaxAbsDiff(pg, lum); d > 1e-9 {
+		t.Fatalf("gray and replicated-RGB prints differ by %v with zero chroma error", d)
+	}
+}

@@ -1,0 +1,165 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"roadtrojan/internal/imaging"
+	"roadtrojan/internal/tensor"
+)
+
+// Camera is a pinhole camera standing Height meters above the ground plane
+// at ground position (X, Y), looking toward +gy with a small yaw (pan) and
+// roll (image-plane rotation, the paper's "rotation" challenge).
+type Camera struct {
+	ImgW, ImgH int
+	F          float64 // focal length in pixels
+	Height     float64 // meters above ground
+	X, Y       float64 // ground position (meters)
+	Yaw        float64 // radians, positive pans left
+	Roll       float64 // radians, hand-shake rotation
+	Cx, Cy     float64 // principal point (pixels)
+}
+
+// DefaultCamera returns the camera used throughout the experiments: a
+// 64×64 frame with ≈53° FOV mounted at windshield height.
+func DefaultCamera() Camera {
+	return Camera{
+		ImgW: 64, ImgH: 64,
+		F:      64,
+		Height: 1.4,
+		Cx:     32, Cy: 22,
+	}
+}
+
+// minDepth is the nearest depth (meters) the projection accepts.
+const minDepth = 0.4
+
+// Project maps a ground point to image coordinates. ok is false when the
+// point is behind or essentially at the camera. depth is the forward
+// distance in meters.
+func (c Camera) Project(gx, gy float64) (ix, iy, depth float64, ok bool) {
+	dx := gx - c.X
+	dz := gy - c.Y
+	cs, sn := math.Cos(c.Yaw), math.Sin(c.Yaw)
+	xc := dx*cs - dz*sn
+	zc := dx*sn + dz*cs
+	if zc < minDepth {
+		return 0, 0, zc, false
+	}
+	ix0 := c.Cx + c.F*xc/zc
+	iy0 := c.Cy + c.F*c.Height/zc
+	// Roll about the principal point.
+	cr, sr := math.Cos(c.Roll), math.Sin(c.Roll)
+	ix = c.Cx + (ix0-c.Cx)*cr - (iy0-c.Cy)*sr
+	iy = c.Cy + (ix0-c.Cx)*sr + (iy0-c.Cy)*cr
+	return ix, iy, zc, true
+}
+
+// TexWarp returns a differentiable warp that renders the ground texture into
+// the camera frame (output pixel → texture pixel). Gradients through
+// Warp.Backward reach the ground texture — and therefore any decal
+// composited onto it.
+func (c Camera) TexWarp(g *Ground) (*imaging.Warp, error) {
+	// Solve the image→texture homography from four reference ground points
+	// well inside the visible trapezoid.
+	near := c.Y + 1.0
+	far := c.Y + 24.0
+	side := 4.0
+	gpts := [4][2]float64{
+		{c.X - side, near}, {c.X + side, near},
+		{c.X + side, far}, {c.X - side, far},
+	}
+	var imgPts, texPts [4]imaging.Point
+	for i, p := range gpts {
+		ix, iy, _, ok := c.Project(p[0], p[1])
+		if !ok {
+			return nil, fmt.Errorf("scene: reference point %v behind camera", p)
+		}
+		imgPts[i] = imaging.Point{X: ix, Y: iy}
+		tx, ty := g.TexelOf(p[0], p[1])
+		texPts[i] = imaging.Point{X: tx, Y: ty}
+	}
+	h, err := imaging.QuadToQuad(imgPts, texPts)
+	if err != nil {
+		return nil, fmt.Errorf("scene: camera homography: %w", err)
+	}
+	return imaging.NewWarp(h, c.ImgH, c.ImgW, offRoadGray), nil
+}
+
+const (
+	offRoadGray = 0.42
+	skyTop      = 0.75
+	skyBottom   = 0.62
+	skyDepth    = 45.0 // meters beyond which ground pixels become "sky"
+)
+
+// ApplySky overwrites the region above the (rolled) horizon with a sky
+// gradient and returns the per-pixel sky mask (true = overwritten). It must
+// run after the ground warp; differentiable pipelines use the mask to stop
+// gradients from flowing through overwritten pixels.
+func (c Camera) ApplySky(img *tensor.Tensor) []bool {
+	h, w := img.Dim(1), img.Dim(2)
+	n := h * w
+	mask := make([]bool, n)
+	horizonY := c.Cy + c.F*c.Height/skyDepth
+	cr, sr := math.Cos(-c.Roll), math.Sin(-c.Roll)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Un-roll the pixel to test against the flat horizon.
+			uy := c.Cy + (float64(x)-c.Cx)*sr + (float64(y)-c.Cy)*cr
+			if uy > horizonY {
+				continue
+			}
+			t := uy / math.Max(horizonY, 1)
+			v := skyTop + (skyBottom-skyTop)*t
+			i := y*w + x
+			mask[i] = true
+			img.Data()[i] = v * 0.95
+			img.Data()[n+i] = v
+			img.Data()[2*n+i] = math.Min(1, v*1.08)
+		}
+	}
+	return mask
+}
+
+// Render draws the ground through the camera and paints the sky. Returns a
+// fresh [3,H,W] frame.
+func (c Camera) Render(g *Ground) (*tensor.Tensor, error) {
+	wp, err := c.TexWarp(g)
+	if err != nil {
+		return nil, err
+	}
+	img := wp.Forward(g.Tex)
+	c.ApplySky(img)
+	return img, nil
+}
+
+// GroundBoxToImage projects an axis-aligned ground rectangle to its
+// axis-aligned image bounding box. ok is false if every corner is behind
+// the camera or the box degenerates to under two pixels.
+func (c Camera) GroundBoxToImage(gx0, gy0, gx1, gy1 float64) (Box, bool) {
+	corners := [4][2]float64{{gx0, gy0}, {gx1, gy0}, {gx1, gy1}, {gx0, gy1}}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	visible := 0
+	for _, p := range corners {
+		ix, iy, _, ok := c.Project(p[0], p[1])
+		if !ok {
+			continue
+		}
+		visible++
+		minX, maxX = math.Min(minX, ix), math.Max(maxX, ix)
+		minY, maxY = math.Min(minY, iy), math.Max(maxY, iy)
+	}
+	if visible < 3 {
+		return Box{}, false
+	}
+	// Clip to the frame.
+	minX, maxX = math.Max(minX, 0), math.Min(maxX, float64(c.ImgW-1))
+	minY, maxY = math.Max(minY, 0), math.Min(maxY, float64(c.ImgH-1))
+	if maxX-minX < 2 || maxY-minY < 2 {
+		return Box{}, false
+	}
+	return Box{CX: (minX + maxX) / 2, CY: (minY + maxY) / 2, W: maxX - minX, H: maxY - minY}, true
+}

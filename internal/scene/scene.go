@@ -1,0 +1,105 @@
+// Package scene is the synthetic substrate standing in for the paper's
+// private road dataset and physical test drives. It renders a ground-plane
+// road texture (asphalt, lane lines, painted markings), projects it through
+// a pinhole camera into small RGB frames, pastes upright object sprites, and
+// generates both labeled training scenes for the victim detector and
+// approach videos reproducing the paper's three challenges (rotation, speed,
+// angles).
+//
+// Ground coordinates are meters: gx lateral (0 = road center), gy distance
+// ahead (0 = near edge of the modeled stretch). Image frames are [3,H,W]
+// tensors in [0,1].
+package scene
+
+import (
+	"fmt"
+
+	"roadtrojan/internal/tensor"
+)
+
+// Class enumerates the five labels the paper fine-tunes YOLOv3-tiny on.
+type Class int
+
+// The paper's five dataset labels.
+const (
+	Person Class = iota + 1
+	Word
+	Mark
+	Car
+	Bicycle
+)
+
+// NumClasses is the detector's class count.
+const NumClasses = 5
+
+// String returns the paper's lowercase label name.
+func (c Class) String() string {
+	switch c {
+	case Person:
+		return "person"
+	case Word:
+		return "word"
+	case Mark:
+		return "mark"
+	case Car:
+		return "car"
+	case Bicycle:
+		return "bicycle"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Index returns the 0-based class index used by the detector head.
+func (c Class) Index() int { return int(c) - 1 }
+
+// ClassFromIndex converts a 0-based detector index back to a Class.
+func ClassFromIndex(i int) Class { return Class(i + 1) }
+
+// Box is an axis-aligned bounding box in pixel coordinates, center format.
+type Box struct {
+	CX, CY, W, H float64
+}
+
+// X0Y0X1Y1 returns the corner representation.
+func (b Box) X0Y0X1Y1() (x0, y0, x1, y1 float64) {
+	return b.CX - b.W/2, b.CY - b.H/2, b.CX + b.W/2, b.CY + b.H/2
+}
+
+// Area returns the box area (0 for degenerate boxes).
+func (b Box) Area() float64 {
+	if b.W <= 0 || b.H <= 0 {
+		return 0
+	}
+	return b.W * b.H
+}
+
+// IoU returns the intersection-over-union of two boxes.
+func (b Box) IoU(o Box) float64 {
+	bx0, by0, bx1, by1 := b.X0Y0X1Y1()
+	ox0, oy0, ox1, oy1 := o.X0Y0X1Y1()
+	ix0, iy0 := max(bx0, ox0), max(by0, oy0)
+	ix1, iy1 := min(bx1, ox1), min(by1, oy1)
+	iw, ih := ix1-ix0, iy1-iy0
+	if iw <= 0 || ih <= 0 {
+		return 0
+	}
+	inter := iw * ih
+	union := b.Area() + o.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Object is a labeled instance in a frame.
+type Object struct {
+	Class Class
+	Box   Box
+}
+
+// Frame couples a rendered image with its ground truth.
+type Frame struct {
+	Image   *tensor.Tensor // [3,H,W]
+	Objects []Object
+}

@@ -1,0 +1,203 @@
+package scene
+
+import (
+	"math"
+	"math/rand"
+
+	"roadtrojan/internal/imaging"
+	"roadtrojan/internal/tensor"
+)
+
+// Sprite is an upright billboard: an RGB texture with an alpha mask, plus
+// its physical height in meters. Cars, people and bicycles are billboards;
+// marks and words are painted on the ground instead.
+type Sprite struct {
+	RGB     *tensor.Tensor // [3,h,w]
+	Alpha   *tensor.Tensor // [1,h,w]
+	HeightM float64
+	Class   Class
+}
+
+const spriteRes = 48 // canonical sprite raster height
+
+// NewCarSprite draws a simple hatchback silhouette with windows and wheels.
+func NewCarSprite(rng *rand.Rand) *Sprite {
+	h, w := spriteRes, spriteRes*5/4
+	rgb := tensor.New(3, h, w)
+	alpha := tensor.New(1, h, w)
+	body := [3]float64{0.2 + rng.Float64()*0.6, 0.15 + rng.Float64()*0.5, 0.3 + rng.Float64()*0.5}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fy := float64(y) / float64(h)
+			fx := float64(x) / float64(w)
+			var col [3]float64
+			in := false
+			switch {
+			case fy > 0.45 && fy < 0.85 && fx > 0.03 && fx < 0.97: // body
+				col, in = body, true
+			case fy >= 0.15 && fy <= 0.45 && fx > 0.2 && fx < 0.8: // cabin
+				col, in = [3]float64{0.55, 0.65, 0.75}, true // glass
+				if fx < 0.25 || fx > 0.75 || fy < 0.2 {
+					col = body // pillars/roof edge
+				}
+			case fy >= 0.85 && fy < 0.97 &&
+				((fx > 0.12 && fx < 0.3) || (fx > 0.7 && fx < 0.88)): // wheels
+				col, in = [3]float64{0.05, 0.05, 0.05}, true
+			}
+			if in {
+				setSpritePixel(rgb, alpha, x, y, col)
+			}
+		}
+	}
+	return &Sprite{RGB: rgb, Alpha: alpha, HeightM: 1.5, Class: Car}
+}
+
+// NewPersonSprite draws a pedestrian: head, torso, legs.
+func NewPersonSprite(rng *rand.Rand) *Sprite {
+	h, w := spriteRes, spriteRes/3
+	rgb := tensor.New(3, h, w)
+	alpha := tensor.New(1, h, w)
+	shirt := [3]float64{0.2 + rng.Float64()*0.7, 0.2 + rng.Float64()*0.7, 0.2 + rng.Float64()*0.7}
+	pants := [3]float64{0.15, 0.15, 0.25}
+	skin := [3]float64{0.85, 0.7, 0.55}
+	cx := float64(w) / 2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fy := float64(y) / float64(h)
+			dx := math.Abs(float64(x) + 0.5 - cx)
+			switch {
+			case fy < 0.18: // head
+				r := 0.09 * float64(h)
+				cy := 0.09 * float64(h)
+				if dx*dx+(float64(y)-cy)*(float64(y)-cy) <= r*r {
+					setSpritePixel(rgb, alpha, x, y, skin)
+				}
+			case fy < 0.55: // torso
+				if dx < 0.30*float64(w) {
+					setSpritePixel(rgb, alpha, x, y, shirt)
+				}
+			default: // legs
+				if dx > 0.05*float64(w) && dx < 0.3*float64(w) {
+					setSpritePixel(rgb, alpha, x, y, pants)
+				}
+			}
+		}
+	}
+	return &Sprite{RGB: rgb, Alpha: alpha, HeightM: 1.75, Class: Person}
+}
+
+// NewBicycleSprite draws a side-view bicycle: two wheels and a frame.
+func NewBicycleSprite(rng *rand.Rand) *Sprite {
+	h, w := spriteRes*2/3, spriteRes
+	rgb := tensor.New(3, h, w)
+	alpha := tensor.New(1, h, w)
+	frame := [3]float64{0.7, 0.15 + rng.Float64()*0.3, 0.15}
+	dark := [3]float64{0.08, 0.08, 0.08}
+	r := 0.3 * float64(h)
+	c1 := [2]float64{0.25 * float64(w), 0.65 * float64(h)}
+	c2 := [2]float64{0.75 * float64(w), 0.65 * float64(h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x), float64(y)
+			d1 := math.Hypot(fx-c1[0], fy-c1[1])
+			d2 := math.Hypot(fx-c2[0], fy-c2[1])
+			if math.Abs(d1-r) < 1.5 || math.Abs(d2-r) < 1.5 {
+				setSpritePixel(rgb, alpha, x, y, dark)
+				continue
+			}
+			// Frame: two diagonals and a top tube.
+			onSeg := func(a, b [2]float64) bool {
+				return distToSegment(fx, fy, a, b) < 1.3
+			}
+			top := [2]float64{0.5 * float64(w), 0.25 * float64(h)}
+			if onSeg(c1, top) || onSeg(c2, top) || onSeg(c1, c2) {
+				setSpritePixel(rgb, alpha, x, y, frame)
+			}
+		}
+	}
+	return &Sprite{RGB: rgb, Alpha: alpha, HeightM: 1.1, Class: Bicycle}
+}
+
+func distToSegment(px, py float64, a, b [2]float64) float64 {
+	vx, vy := b[0]-a[0], b[1]-a[1]
+	wx, wy := px-a[0], py-a[1]
+	l2 := vx*vx + vy*vy
+	t := 0.0
+	if l2 > 0 {
+		t = (wx*vx + wy*vy) / l2
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	return math.Hypot(px-(a[0]+t*vx), py-(a[1]+t*vy))
+}
+
+func setSpritePixel(rgb, alpha *tensor.Tensor, x, y int, col [3]float64) {
+	h, w := rgb.Dim(1), rgb.Dim(2)
+	n := h * w
+	i := y*w + x
+	rgb.Data()[i] = col[0]
+	rgb.Data()[n+i] = col[1]
+	rgb.Data()[2*n+i] = col[2]
+	alpha.Data()[i] = 1
+}
+
+// PasteBillboard renders the sprite standing at ground point (gx, gy) into
+// img as seen by cam, returning the pasted bounding box. ok is false when
+// the object is behind the camera or too small to label.
+func PasteBillboard(img *tensor.Tensor, cam Camera, sp *Sprite, gx, gy float64) (Box, bool) {
+	ix, iy, depth, visible := cam.Project(gx, gy)
+	if !visible {
+		return Box{}, false
+	}
+	hPx := cam.F * sp.HeightM / depth
+	if hPx < 3 {
+		return Box{}, false
+	}
+	aspect := float64(sp.RGB.Dim(2)) / float64(sp.RGB.Dim(1))
+	wPx := hPx * aspect
+	sh, sw := int(hPx+0.5), int(wPx+0.5)
+	if sh < 2 || sw < 2 {
+		return Box{}, false
+	}
+	rgb := imaging.ResizeBilinear(sp.RGB, sh, sw)
+	alpha := imaging.ResizeBilinear(sp.Alpha, sh, sw)
+	x0 := int(ix - wPx/2)
+	y0 := int(iy - hPx) // bottom-center anchored at the ground point
+	h, w := img.Dim(1), img.Dim(2)
+	n := h * w
+	sn := sh * sw
+	painted := 0
+	for sy := 0; sy < sh; sy++ {
+		for sx := 0; sx < sw; sx++ {
+			x, y := x0+sx, y0+sy
+			if x < 0 || x >= w || y < 0 || y >= h {
+				continue
+			}
+			a := alpha.Data()[sy*sw+sx]
+			if a <= 0.01 {
+				continue
+			}
+			painted++
+			for ch := 0; ch < 3; ch++ {
+				d := ch*n + y*w + x
+				s := ch*sn + sy*sw + sx
+				img.Data()[d] = img.Data()[d]*(1-a) + rgb.Data()[s]*a
+			}
+		}
+	}
+	if painted < 6 {
+		return Box{}, false
+	}
+	// Clip label to the frame.
+	bx0 := math.Max(float64(x0), 0)
+	by0 := math.Max(float64(y0), 0)
+	bx1 := math.Min(float64(x0+sw), float64(w-1))
+	by1 := math.Min(float64(y0+sh), float64(h-1))
+	if bx1-bx0 < 2 || by1-by0 < 2 {
+		return Box{}, false
+	}
+	return Box{CX: (bx0 + bx1) / 2, CY: (by0 + by1) / 2, W: bx1 - bx0, H: by1 - by0}, true
+}

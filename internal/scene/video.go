@@ -1,0 +1,154 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roadtrojan/internal/imaging"
+	"roadtrojan/internal/tensor"
+)
+
+// Challenge describes one of the paper's evaluation settings: a camera
+// motion pattern relative to the target decal scene.
+type Challenge struct {
+	Name string
+	// SpeedKmh is the approach speed; 0 means the camera is stationary
+	// (the rotation challenge).
+	SpeedKmh float64
+	// RollJitterDeg is the per-frame hand-shake roll std-dev in degrees
+	// ("slight rotation").
+	RollJitterDeg float64
+	// AngleDeg places the target left (−), center (0) or right (+) of the
+	// camera heading, per Fig. 3.
+	AngleDeg float64
+	// StartDist/EndDist bound the approach in meters ahead of the target.
+	StartDist, EndDist float64
+	// Frames caps the video length for stationary challenges.
+	Frames int
+	// FPS is the simulated frame rate.
+	FPS float64
+}
+
+// The paper's eight challenge settings (Tables I–VI columns).
+func challenge(name string) Challenge {
+	base := Challenge{StartDist: 8, EndDist: 2.4, FPS: 10, Frames: 30}
+	switch name {
+	case "fix":
+		base.Name, base.SpeedKmh, base.StartDist = name, 0, 4.5
+	case "slight":
+		base.Name, base.SpeedKmh, base.StartDist, base.RollJitterDeg = name, 0, 4.5, 3.5
+	case "slow":
+		base.Name, base.SpeedKmh = name, 15
+	case "normal":
+		base.Name, base.SpeedKmh = name, 25
+	case "fast":
+		base.Name, base.SpeedKmh = name, 35
+	case "angle-15", "angle+15", "angle0":
+		base.Name, base.SpeedKmh, base.StartDist = name, 10, 7
+		switch name {
+		case "angle-15":
+			base.AngleDeg = -15
+		case "angle+15":
+			base.AngleDeg = 15
+		}
+	default:
+		panic(fmt.Sprintf("scene: unknown challenge %q", name))
+	}
+	return base
+}
+
+// Challenges returns the named challenge settings.
+// Valid names: fix, slight, slow, normal, fast, angle-15, angle0, angle+15.
+func Challenges(names ...string) []Challenge {
+	out := make([]Challenge, len(names))
+	for i, n := range names {
+		out[i] = challenge(n)
+	}
+	return out
+}
+
+// AllChallengeNames lists the Table I column order.
+var AllChallengeNames = []string{"fix", "slight", "slow", "normal", "fast", "angle-15", "angle0", "angle+15"}
+
+// TrajectoryStep is one frame's camera pose plus the motion-blur length
+// (pixels) induced by the speed at that instant.
+type TrajectoryStep struct {
+	Cam     Camera
+	BlurLen int
+}
+
+// BuildTrajectory computes the per-frame camera poses of a challenge
+// approaching a target at ground position (targetGX, targetGY). The jitter
+// RNG drives hand-shake roll.
+func BuildTrajectory(base Camera, ch Challenge, targetGX, targetGY float64, rng *rand.Rand) []TrajectoryStep {
+	var steps []TrajectoryStep
+	angleRad := ch.AngleDeg * math.Pi / 180
+	// Lateral offset chosen so the target sits at the requested bearing at
+	// the start of the approach.
+	latOffset := math.Tan(angleRad) * ch.StartDist
+
+	dist := ch.StartDist
+	v := ch.SpeedKmh / 3.6 // m/s
+	dt := 1 / ch.FPS
+	frame := 0
+	for {
+		if ch.SpeedKmh == 0 && frame >= ch.Frames {
+			break
+		}
+		if ch.SpeedKmh > 0 && dist < ch.EndDist {
+			break
+		}
+		cam := base
+		cam.Y = targetGY - dist
+		cam.X = targetGX - latOffset
+		if ch.RollJitterDeg > 0 {
+			cam.Roll = rng.NormFloat64() * ch.RollJitterDeg * math.Pi / 180
+		}
+		// Motion blur: pixel flow of the target between consecutive frames,
+		// v·dt·f·h/d² vertical displacement at the decal.
+		blur := 0
+		if v > 0 {
+			disp := v * dt * cam.F * cam.Height / (dist * dist)
+			blur = int(disp + 0.5)
+			if blur > 9 {
+				blur = 9
+			}
+		}
+		steps = append(steps, TrajectoryStep{Cam: cam, BlurLen: blur})
+		dist -= v * dt
+		frame++
+		if frame > 600 {
+			break // safety bound
+		}
+	}
+	return steps
+}
+
+// VideoFrame is a rendered trajectory step with the target's ground-truth
+// box in that frame (ok=false when the target left the frame).
+type VideoFrame struct {
+	Image     *tensor.Tensor
+	TargetBox Box
+	TargetOK  bool
+	Step      TrajectoryStep
+}
+
+// RenderVideo renders the ground through every trajectory step, applying
+// speed-proportional vertical motion blur, and labels the target ground
+// rectangle per frame.
+func RenderVideo(g *Ground, steps []TrajectoryStep, tgtGX0, tgtGY0, tgtGX1, tgtGY1 float64) ([]VideoFrame, error) {
+	frames := make([]VideoFrame, 0, len(steps))
+	for _, st := range steps {
+		img, err := st.Cam.Render(g)
+		if err != nil {
+			return nil, fmt.Errorf("render video frame: %w", err)
+		}
+		if st.BlurLen > 1 {
+			img = imaging.BoxBlurVertical(img, st.BlurLen)
+		}
+		box, ok := st.Cam.GroundBoxToImage(tgtGX0, tgtGY0, tgtGX1, tgtGY1)
+		frames = append(frames, VideoFrame{Image: img, TargetBox: box, TargetOK: ok, Step: st})
+	}
+	return frames, nil
+}

@@ -1,0 +1,219 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ConvOut returns the spatial output size of a convolution or pooling with
+// the given input size, kernel, stride and symmetric zero padding.
+func ConvOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers one [C,H,W] image (given as a flat slice) into a column
+// matrix of shape [C*KH*KW, OH*OW] so convolution becomes a MatMul. Out must
+// have exactly that many elements.
+func Im2Col(img []float64, c, h, w, kh, kw, stride, pad int, out []float64) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	cols := oh * ow
+	if len(out) != c*kh*kw*cols {
+		panic(fmt.Sprintf("tensor: Im2Col out length %d, want %d", len(out), c*kh*kw*cols))
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chImg := img[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				dst := out[row*cols : (row+1)*cols]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					srow := chImg[sy*w : (sy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride - pad + kx
+						if sx < 0 || sx >= w {
+							dst[i] = 0
+						} else {
+							dst[i] = srow[sx]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column matrix (the gradient of Im2Col's output) back
+// into a [C,H,W] image gradient, accumulating where patches overlapped.
+func Col2Im(cols []float64, c, h, w, kh, kw, stride, pad int, img []float64) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	n := oh * ow
+	if len(img) != c*h*w {
+		panic(fmt.Sprintf("tensor: Col2Im img length %d, want %d", len(img), c*h*w))
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chImg := img[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				src := cols[row*n : (row+1)*n]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= h {
+						i += ow
+						continue
+					}
+					srow := chImg[sy*w : (sy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride - pad + kx
+						if sx >= 0 && sx < w {
+							srow[sx] += src[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Conv2D computes a batched 2-D cross-correlation. Input is [N,C,H,W],
+// weight is [OC,C,KH,KW], bias (optional, may be nil) is [OC]. The result is
+// [N,OC,OH,OW]. Samples are processed in parallel.
+func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
+	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	oc, kc, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	if kc != c {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input %v weight %v", input.shape, weight.shape))
+	}
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	out := New(n, oc, oh, ow)
+	wmat := weight.Reshape(oc, c*kh*kw)
+	colLen := c * kh * kw * oh * ow
+
+	parallelFor(n, func(s int) {
+		cols := make([]float64, colLen)
+		Im2Col(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, kh, kw, stride, pad, cols)
+		colT := FromSlice(cols, c*kh*kw, oh*ow)
+		res := out.data[s*oc*oh*ow : (s+1)*oc*oh*ow]
+		prod := FromSlice(res, oc, oh*ow)
+		matMulRows(prod.data, wmat.data, colT.data, 0, oc, c*kh*kw, oh*ow, false)
+		if bias != nil {
+			for o := 0; o < oc; o++ {
+				b := bias.data[o]
+				seg := res[o*oh*ow : (o+1)*oh*ow]
+				for i := range seg {
+					seg[i] += b
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Conv2DBackward computes the gradients of Conv2D. Given dOut [N,OC,OH,OW]
+// it returns dInput [N,C,H,W] and accumulates into dWeight [OC,C,KH,KW] and
+// dBias [OC] (either may be nil to skip).
+func Conv2DBackward(input, weight, dOut *Tensor, stride, pad int, dWeight, dBias *Tensor) *Tensor {
+	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	oc, _, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	dIn := New(n, c, h, w)
+	k := c * kh * kw
+	m := oh * ow
+	wmatT := Transpose2D(weight.Reshape(oc, k)) // [k, oc]
+
+	var mu sync.Mutex
+	parallelFor(n, func(s int) {
+		cols := make([]float64, k*m)
+		Im2Col(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, kh, kw, stride, pad, cols)
+		dOutS := dOut.data[s*oc*m : (s+1)*oc*m]
+
+		if dWeight != nil || dBias != nil {
+			// dW_s = dOut_s [oc,m] @ cols^T [m,k]
+			dws := make([]float64, oc*k)
+			colsT := make([]float64, m*k)
+			for r := 0; r < k; r++ {
+				for cc := 0; cc < m; cc++ {
+					colsT[cc*k+r] = cols[r*m+cc]
+				}
+			}
+			matMulRows(dws, dOutS, colsT, 0, oc, m, k, false)
+			mu.Lock()
+			if dWeight != nil {
+				for i, v := range dws {
+					dWeight.data[i] += v
+				}
+			}
+			if dBias != nil {
+				for o := 0; o < oc; o++ {
+					sum := 0.0
+					for i := 0; i < m; i++ {
+						sum += dOutS[o*m+i]
+					}
+					dBias.data[o] += sum
+				}
+			}
+			mu.Unlock()
+		}
+
+		// dCols = W^T [k,oc] @ dOut_s [oc,m]
+		dCols := make([]float64, k*m)
+		matMulRows(dCols, wmatT.data, dOutS, 0, k, oc, m, false)
+		Col2Im(dCols, c, h, w, kh, kw, stride, pad, dIn.data[s*c*h*w:(s+1)*c*h*w])
+	})
+	return dIn
+}
+
+// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS goroutines.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ParallelFor exposes the worker-pool loop for other packages that iterate
+// over batch samples.
+func ParallelFor(n int, f func(i int)) { parallelFor(n, f) }

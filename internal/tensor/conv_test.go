@@ -1,0 +1,267 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// naiveConv2D is an unoptimized reference implementation used to validate
+// the im2col-based Conv2D.
+func naiveConv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	oc, _, kh, kw := weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3)
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	out := New(n, oc, oh, ow)
+	for s := 0; s < n; s++ {
+		for o := 0; o < oc; o++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := 0.0
+					if bias != nil {
+						sum = bias.At(o)
+					}
+					for ch := 0; ch < c; ch++ {
+						for ky := 0; ky < kh; ky++ {
+							for kx := 0; kx < kw; kx++ {
+								sy := oy*stride - pad + ky
+								sx := ox*stride - pad + kx
+								if sy < 0 || sy >= h || sx < 0 || sx >= w {
+									continue
+								}
+								sum += input.At(s, ch, sy, sx) * weight.At(o, ch, ky, kx)
+							}
+						}
+					}
+					out.Set(sum, s, o, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConvOut(t *testing.T) {
+	tests := []struct {
+		in, k, s, p, want int
+	}{
+		{8, 3, 1, 1, 8},
+		{8, 3, 2, 1, 4},
+		{8, 2, 2, 0, 4},
+		{7, 3, 1, 0, 5},
+		{64, 3, 2, 1, 32},
+	}
+	for _, tt := range tests {
+		if got := ConvOut(tt.in, tt.k, tt.s, tt.p); got != tt.want {
+			t.Errorf("ConvOut(%d,%d,%d,%d) = %d, want %d", tt.in, tt.k, tt.s, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	tests := []struct {
+		name              string
+		n, c, h, w        int
+		oc, k, stride, pd int
+		bias              bool
+	}{
+		{name: "3x3 same", n: 2, c: 3, h: 8, w: 8, oc: 4, k: 3, stride: 1, pd: 1, bias: true},
+		{name: "3x3 stride2", n: 1, c: 2, h: 9, w: 9, oc: 3, k: 3, stride: 2, pd: 1, bias: false},
+		{name: "1x1", n: 2, c: 4, h: 5, w: 5, oc: 2, k: 1, stride: 1, pd: 0, bias: true},
+		{name: "5x5 nopad", n: 1, c: 1, h: 7, w: 7, oc: 1, k: 5, stride: 1, pd: 0, bias: false},
+		{name: "nonsquare input", n: 1, c: 2, h: 6, w: 10, oc: 3, k: 3, stride: 1, pd: 1, bias: true},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := NewRandN(rng, 1, tt.n, tt.c, tt.h, tt.w)
+			wt := NewRandN(rng, 1, tt.oc, tt.c, tt.k, tt.k)
+			var b *Tensor
+			if tt.bias {
+				b = NewRandN(rng, 1, tt.oc)
+			}
+			got := Conv2D(in, wt, b, tt.stride, tt.pd)
+			want := naiveConv2D(in, wt, b, tt.stride, tt.pd)
+			if d := MaxAbsDiff(got, want); d > 1e-10 {
+				t.Fatalf("Conv2D deviates from naive by %v", d)
+			}
+		})
+	}
+}
+
+func TestConv2DBackwardNumericGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := NewRandN(rng, 1, 1, 2, 5, 5)
+	wt := NewRandN(rng, 0.5, 3, 2, 3, 3)
+	bias := NewRandN(rng, 0.5, 3)
+	stride, pad := 1, 1
+
+	// Loss = sum(conv * probe): dOut = probe.
+	out := Conv2D(in, wt, bias, stride, pad)
+	probe := NewRandN(rng, 1, out.Shape()...)
+	loss := func() float64 { return Dot(Conv2D(in, wt, bias, stride, pad), probe) }
+
+	dW := New(wt.Shape()...)
+	dB := New(3)
+	dIn := Conv2DBackward(in, wt, probe, stride, pad, dW, dB)
+
+	const eps = 1e-6
+	check := func(name string, params *Tensor, grad *Tensor) {
+		for i := 0; i < params.Len(); i += 1 + params.Len()/17 {
+			orig := params.Data()[i]
+			params.Data()[i] = orig + eps
+			lp := loss()
+			params.Data()[i] = orig - eps
+			lm := loss()
+			params.Data()[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if diff := num - grad.Data()[i]; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("%s grad[%d]: analytic %v numeric %v", name, i, grad.Data()[i], num)
+			}
+		}
+	}
+	check("weight", wt, dW)
+	check("bias", bias, dB)
+	check("input", in, dIn)
+}
+
+func TestIm2ColCol2ImAdjoint(t *testing.T) {
+	// <Im2Col(x), y> must equal <x, Col2Im(y)> (adjoint property).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, h, w := 1+r.Intn(3), 3+r.Intn(5), 3+r.Intn(5)
+		k := 1 + r.Intn(3)
+		stride := 1 + r.Intn(2)
+		pad := r.Intn(2)
+		if h+2*pad < k || w+2*pad < k {
+			return true
+		}
+		oh := ConvOut(h, k, stride, pad)
+		ow := ConvOut(w, k, stride, pad)
+		x := NewRandN(r, 1, c*h*w)
+		y := NewRandN(r, 1, c*k*k*oh*ow)
+		cols := make([]float64, c*k*k*oh*ow)
+		Im2Col(x.Data(), c, h, w, k, k, stride, pad, cols)
+		lhs := Dot(FromSlice(cols, len(cols)), y)
+		img := make([]float64, c*h*w)
+		Col2Im(y.Data(), c, h, w, k, k, stride, pad, img)
+		rhs := Dot(x, FromSlice(img, len(img)))
+		d := lhs - rhs
+		return d < 1e-9 && d > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPool2DStride2(t *testing.T) {
+	in := FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 1, 4, 4)
+	out, arg := MaxPool2D(in, 2, 2)
+	want := []float64{4, 8, 12, 16}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("pool = %v, want %v", out.Data(), want)
+		}
+	}
+	dOut := Ones(1, 1, 2, 2)
+	dIn := MaxPool2DBackward([]int{1, 1, 4, 4}, dOut, arg)
+	if dIn.At(0, 0, 1, 1) != 1 || dIn.At(0, 0, 0, 0) != 0 {
+		t.Fatalf("pool backward routed wrong: %v", dIn.Data())
+	}
+}
+
+func TestMaxPool2DStride1KeepsSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := NewRandN(rng, 1, 1, 2, 6, 6)
+	out, _ := MaxPool2D(in, 2, 1)
+	if out.Dim(2) != 6 || out.Dim(3) != 6 {
+		t.Fatalf("stride-1 pool shape = %v, want same HxW", out.Shape())
+	}
+	// Every output must be >= the input at the same position (max over a
+	// window that includes it).
+	for i := range in.Data() {
+		if out.Data()[i] < in.Data()[i] {
+			t.Fatal("stride-1 max pool produced value below input")
+		}
+	}
+}
+
+func TestUpsample2DAndBackward(t *testing.T) {
+	in := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	up := Upsample2D(in, 2)
+	if up.Dim(2) != 4 || up.At(0, 0, 0, 1) != 1 || up.At(0, 0, 2, 2) != 4 {
+		t.Fatalf("upsample wrong: %v", up.Data())
+	}
+	dOut := Ones(1, 1, 4, 4)
+	dIn := Upsample2DBackward(dOut, 2)
+	for _, v := range dIn.Data() {
+		if v != 4 {
+			t.Fatalf("upsample backward should sum 4 grads, got %v", dIn.Data())
+		}
+	}
+}
+
+func TestPropPoolUpsampleShapes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := 2 * (1 + r.Intn(6))
+		in := NewRandN(r, 1, 1, 1, h, h)
+		out, _ := MaxPool2D(in, 2, 2)
+		up := Upsample2D(out, 2)
+		return up.Dim(2) == h && up.Dim(3) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewRandN(rng, 1, 128, 128)
+	y := NewRandN(rng, 1, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkConv2D64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := NewRandN(rng, 1, 1, 16, 64, 64)
+	wt := NewRandN(rng, 0.1, 32, 16, 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(in, wt, nil, 1, 1)
+	}
+}
+
+func TestConv2DBiasNilVsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	in := NewRandN(rng, 1, 1, 2, 5, 5)
+	wt := NewRandN(rng, 1, 3, 2, 3, 3)
+	zero := New(3)
+	a := Conv2D(in, wt, nil, 1, 1)
+	b := Conv2D(in, wt, zero, 1, 1)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("nil bias must equal zero bias")
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	hits := make([]int32, 100)
+	ParallelFor(100, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	// n=0 must be a no-op.
+	ParallelFor(0, func(i int) { t.Fatal("called for n=0") })
+}

@@ -1,0 +1,112 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum amount of scalar work before MatMul fans
+// out across goroutines; below it the scheduling overhead dominates.
+const parallelThreshold = 1 << 15
+
+// MatMul returns a @ b for a [m,k] tensor and a [k,n] tensor, computing the
+// [m,n] product with row-parallel ikj loops (cache-friendly for row-major
+// data).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 inputs, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v @ %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matMulInto(out.data, a.data, b.data, m, k, n, false)
+	return out
+}
+
+// MatMulAccum computes dst += a @ b where dst is an existing [m,n] tensor.
+func MatMulAccum(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAccum shape mismatch %v += %v @ %v", dst.shape, a.shape, b.shape))
+	}
+	matMulInto(dst.data, a.data, b.data, m, k, n, true)
+}
+
+func matMulInto(dst, a, b []float64, m, k, n int, accum bool) {
+	work := m * k * n
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers == 1 || m == 1 {
+		matMulRows(dst, a, b, 0, m, k, n, accum)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(dst, a, b, lo, hi, k, n, accum)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes rows [lo,hi) of dst = a@b with an ikj ordering so the
+// inner loop streams through contiguous memory in both b and dst.
+func matMulRows(dst, a, b []float64, lo, hi, k, n int, accum bool) {
+	for i := lo; i < hi; i++ {
+		drow := dst[i*n : (i+1)*n]
+		if !accum {
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+		arow := a[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatVec returns a @ x for a [m,k] matrix and a length-k vector, as [m].
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: MatVec requires [m,k] and [k], got %v and %v", a.shape, x.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v @ %v", a.shape, x.shape))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return out
+}

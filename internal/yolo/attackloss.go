@@ -1,0 +1,202 @@
+package yolo
+
+import (
+	"math"
+
+	"roadtrojan/internal/nn"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/tensor"
+)
+
+// AttackTarget names, for one batch sample, the victim object the decals
+// surround and the class the detector should be fooled into reporting.
+type AttackTarget struct {
+	Box   scene.Box
+	Class scene.Class // the paper's target class t
+}
+
+// AttackLossWeights balance Eq. 2's targeted cross-entropy with an
+// objectness term that keeps the (mis)detection alive — the paper's attack
+// is targeted misclassification, not disappearance: the AV must confirm the
+// wrong class for three consecutive frames — and a box-regression term that
+// anchors the (mis)detection's box onto the victim object, so the wrong
+// class is reported *for the target* rather than floating elsewhere.
+type AttackLossWeights struct {
+	Class float64
+	Obj   float64
+	Coord float64
+}
+
+// DefaultAttackLossWeights work for the experiments.
+func DefaultAttackLossWeights() AttackLossWeights {
+	return AttackLossWeights{Class: 1, Obj: 0.5, Coord: 0.3}
+}
+
+// AttackLoss computes L_f = Σ CE(softmax(class logits), t) − objectness
+// bonus at the anchor cells responsible for each sample's target box, in
+// both heads (the detector may confirm an object at either scale). It
+// returns the loss value and head gradients for Model.Backward, whose
+// input gradient then flows through EOT/compositing into the patch.
+func (m *Model) AttackLoss(h Heads, targets []AttackTarget, w AttackLossWeights) (float64, Heads) {
+	n := h.Coarse.Dim(0)
+	grad := Heads{
+		Coarse: tensor.New(h.Coarse.Shape()...),
+		Fine:   tensor.New(h.Fine.Shape()...),
+	}
+	coarseL := m.layout(h.Coarse, false)
+	fineL := m.layout(h.Fine, true)
+	invN := 1 / float64(n)
+	total := 0.0
+	for s := 0; s < n; s++ {
+		t := targets[s]
+		total += m.attackHead(h.Coarse, grad.Coarse, s, coarseL, t, w, invN)
+		total += m.attackHead(h.Fine, grad.Fine, s, fineL, t, w, invN)
+	}
+	return total, grad
+}
+
+func (m *Model) attackHead(raw, grad *tensor.Tensor, s int, l headLayout, t AttackTarget, w AttackLossWeights, invN float64) float64 {
+	// A wide flat target spreads its detector response over several grid
+	// cells, and decoding may report the object from any of them — so the
+	// targeted loss covers every cell whose center falls inside the target
+	// box (expanded by half a stride so border cells count).
+	half := float64(l.stride) / 2
+	x0 := int((t.Box.CX - t.Box.W/2 - half) / float64(l.stride))
+	x1 := int((t.Box.CX + t.Box.W/2 + half) / float64(l.stride))
+	y0 := int((t.Box.CY - t.Box.H/2 - half) / float64(l.stride))
+	y1 := int((t.Box.CY + t.Box.H/2 + half) / float64(l.stride))
+	x0, x1 = clampCell(x0, l.gw), clampCell(x1, l.gw)
+	y0, y1 = clampCell(y0, l.gh), clampCell(y1, l.gh)
+	center := int(t.Box.CX)/l.stride >= 0 && int(t.Box.CX)/l.stride < l.gw &&
+		int(t.Box.CY)/l.stride >= 0 && int(t.Box.CY)/l.stride < l.gh
+	if !center {
+		return 0
+	}
+	cells := (x1 - x0 + 1) * (y1 - y0 + 1)
+	if cells <= 0 {
+		return 0
+	}
+	// Normalize by cell count so wide boxes don't dominate the batch.
+	wc := w
+	wc.Class /= float64(cells)
+	wc.Obj /= float64(cells)
+	loss := 0.0
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			loss += m.attackCell(raw, grad, s, l, t, wc, invN, cy, cx)
+		}
+	}
+	return loss
+}
+
+func clampCell(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+func (m *Model) attackCell(raw, grad *tensor.Tensor, s int, l headLayout, t AttackTarget, w AttackLossWeights, invN float64, cy, cx int) float64 {
+	data := raw.Data()
+	g := grad.Data()
+	tc := t.Class.Index()
+	loss := 0.0
+	for a := 0; a < AnchorsPerHead; a++ {
+		// Targeted class cross-entropy (Eq. 2).
+		probs := make([]float64, l.classes)
+		maxLogit := math.Inf(-1)
+		for c := 0; c < l.classes; c++ {
+			probs[c] = data[l.at(s, a, 5+c, cy, cx)]
+			if probs[c] > maxLogit {
+				maxLogit = probs[c]
+			}
+		}
+		sum := 0.0
+		for c := range probs {
+			probs[c] = math.Exp(probs[c] - maxLogit)
+			sum += probs[c]
+		}
+		for c := range probs {
+			probs[c] /= sum
+			gr := probs[c]
+			if c == tc {
+				gr -= 1
+			}
+			g[l.at(s, a, 5+c, cy, cx)] += gr * w.Class * invN
+		}
+		loss += -math.Log(math.Max(probs[tc], 1e-9)) * w.Class * invN
+
+		// Keep the object confirmed: push objectness toward 1.
+		oi := l.at(s, a, 4, cy, cx)
+		obj := nn.SigmoidScalar(data[oi])
+		loss += -math.Log(math.Max(obj, 1e-9)) * w.Obj * invN
+		g[oi] += (obj - 1) * w.Obj * invN
+
+		// Anchor the reported box onto the target so decode-time matching
+		// associates the wrong class with the victim object.
+		if w.Coord > 0 {
+			txT := clamp01(t.Box.CX/float64(l.stride) - float64(cx))
+			tyT := clamp01(t.Box.CY/float64(l.stride) - float64(cy))
+			twT := math.Log(math.Max(t.Box.W, 1) / l.anchors[a].W)
+			thT := math.Log(math.Max(t.Box.H, 1) / l.anchors[a].H)
+			xi := l.at(s, a, 0, cy, cx)
+			yi := l.at(s, a, 1, cy, cx)
+			wi := l.at(s, a, 2, cy, cx)
+			hi := l.at(s, a, 3, cy, cx)
+			sx := nn.SigmoidScalar(data[xi])
+			sy := nn.SigmoidScalar(data[yi])
+			loss += w.Coord * invN * ((sx-txT)*(sx-txT) + (sy-tyT)*(sy-tyT) +
+				(data[wi]-twT)*(data[wi]-twT) + (data[hi]-thT)*(data[hi]-thT))
+			g[xi] += w.Coord * invN * 2 * (sx - txT) * sx * (1 - sx)
+			g[yi] += w.Coord * invN * 2 * (sy - tyT) * sy * (1 - sy)
+			g[wi] += w.Coord * invN * 2 * (data[wi] - twT)
+			g[hi] += w.Coord * invN * 2 * (data[hi] - thT)
+		}
+	}
+	return loss
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// TargetClassProb reports the detector's softmax probability of the target
+// class at the target box's responsible fine-head cell, averaged over
+// anchors — a smooth progress signal for attack training loops.
+func (m *Model) TargetClassProb(h Heads, target AttackTarget, sample int) float64 {
+	l := m.layout(h.Fine, true)
+	data := h.Fine.Data()
+	cx := int(target.Box.CX) / l.stride
+	cy := int(target.Box.CY) / l.stride
+	if cx < 0 || cx >= l.gw || cy < 0 || cy >= l.gh {
+		return 0
+	}
+	tc := target.Class.Index()
+	total := 0.0
+	for a := 0; a < AnchorsPerHead; a++ {
+		maxLogit := math.Inf(-1)
+		logits := make([]float64, l.classes)
+		for c := 0; c < l.classes; c++ {
+			logits[c] = data[l.at(sample, a, 5+c, cy, cx)]
+			if logits[c] > maxLogit {
+				maxLogit = logits[c]
+			}
+		}
+		sum := 0.0
+		for c := range logits {
+			logits[c] = math.Exp(logits[c] - maxLogit)
+			sum += logits[c]
+		}
+		total += logits[tc] / sum
+	}
+	return total / AnchorsPerHead
+}

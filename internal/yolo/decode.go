@@ -1,0 +1,186 @@
+package yolo
+
+import (
+	"math"
+	"sort"
+
+	"roadtrojan/internal/nn"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/tensor"
+)
+
+// Detection is one decoded, confidence-scored box.
+type Detection struct {
+	Box        scene.Box
+	Class      scene.Class
+	Confidence float64 // objectness · class probability
+	Objectness float64
+	ClassProbs []float64
+}
+
+// DecodeOptions tune decoding and NMS.
+type DecodeOptions struct {
+	ConfThreshold float64
+	NMSIoU        float64
+	MaxDetections int
+}
+
+// DefaultDecode mirrors common darknet inference settings.
+func DefaultDecode() DecodeOptions {
+	return DecodeOptions{ConfThreshold: 0.28, NMSIoU: 0.45, MaxDetections: 20}
+}
+
+// headLayout exposes the (anchor, channel, cell) indexing of a raw head
+// tensor for one sample. Channel layout per anchor: tx, ty, tw, th, tobj,
+// class logits…
+type headLayout struct {
+	gh, gw, stride, classes int
+	anchors                 [3]Anchor
+}
+
+func (m *Model) layout(h *tensor.Tensor, fine bool) headLayout {
+	return headLayout{
+		gh: h.Dim(2), gw: h.Dim(3),
+		stride:  strideOf(fine),
+		classes: m.Cfg.NumClasses,
+		anchors: m.HeadAnchors(fine),
+	}
+}
+
+func strideOf(fine bool) int {
+	if fine {
+		return FineStride
+	}
+	return CoarseStride
+}
+
+// at returns the flat offset of (sample, anchor, field, cy, cx) in a raw
+// head tensor of shape [N, 3*(5+C), gh, gw].
+func (l headLayout) at(sample, anchor, field, cy, cx int) int {
+	per := 5 + l.classes
+	ch := anchor*per + field
+	return ((sample*(3*per)+ch)*l.gh+cy)*l.gw + cx
+}
+
+// DecodeSample decodes all detections of one sample from both heads and
+// applies per-class NMS.
+func (m *Model) DecodeSample(h Heads, sample int, opts DecodeOptions) []Detection {
+	var dets []Detection
+	dets = append(dets, m.decodeHead(h.Coarse, sample, false, opts)...)
+	dets = append(dets, m.decodeHead(h.Fine, sample, true, opts)...)
+	return NMS(dets, opts)
+}
+
+func (m *Model) decodeHead(raw *tensor.Tensor, sample int, fine bool, opts DecodeOptions) []Detection {
+	l := m.layout(raw, fine)
+	data := raw.Data()
+	var dets []Detection
+	for a := 0; a < AnchorsPerHead; a++ {
+		for cy := 0; cy < l.gh; cy++ {
+			for cx := 0; cx < l.gw; cx++ {
+				obj := nn.SigmoidScalar(data[l.at(sample, a, 4, cy, cx)])
+				if obj < opts.ConfThreshold*0.5 {
+					continue
+				}
+				probs := make([]float64, l.classes)
+				maxLogit := math.Inf(-1)
+				for c := 0; c < l.classes; c++ {
+					v := data[l.at(sample, a, 5+c, cy, cx)]
+					probs[c] = v
+					if v > maxLogit {
+						maxLogit = v
+					}
+				}
+				sum := 0.0
+				for c := range probs {
+					probs[c] = math.Exp(probs[c] - maxLogit)
+					sum += probs[c]
+				}
+				best, bestP := 0, 0.0
+				for c := range probs {
+					probs[c] /= sum
+					if probs[c] > bestP {
+						best, bestP = c, probs[c]
+					}
+				}
+				conf := obj * bestP
+				if conf < opts.ConfThreshold {
+					continue
+				}
+				tx := nn.SigmoidScalar(data[l.at(sample, a, 0, cy, cx)])
+				ty := nn.SigmoidScalar(data[l.at(sample, a, 1, cy, cx)])
+				tw := data[l.at(sample, a, 2, cy, cx)]
+				th := data[l.at(sample, a, 3, cy, cx)]
+				w := l.anchors[a].W * math.Exp(clampExp(tw))
+				hh := l.anchors[a].H * math.Exp(clampExp(th))
+				dets = append(dets, Detection{
+					Box: scene.Box{
+						CX: (float64(cx) + tx) * float64(l.stride),
+						CY: (float64(cy) + ty) * float64(l.stride),
+						W:  w, H: hh,
+					},
+					Class:      scene.ClassFromIndex(best),
+					Confidence: conf,
+					Objectness: obj,
+					ClassProbs: probs,
+				})
+			}
+		}
+	}
+	return dets
+}
+
+func clampExp(v float64) float64 {
+	if v > 4 {
+		return 4
+	}
+	if v < -6 {
+		return -6
+	}
+	return v
+}
+
+// NMS applies per-class non-maximum suppression, returning detections in
+// descending confidence order.
+func NMS(dets []Detection, opts DecodeOptions) []Detection {
+	sort.Slice(dets, func(i, j int) bool { return dets[i].Confidence > dets[j].Confidence })
+	var keep []Detection
+	for _, d := range dets {
+		ok := true
+		for _, k := range keep {
+			if k.Class == d.Class && k.Box.IoU(d.Box) > opts.NMSIoU {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, d)
+			if opts.MaxDetections > 0 && len(keep) >= opts.MaxDetections {
+				break
+			}
+		}
+	}
+	return keep
+}
+
+// MatchTarget returns the highest-confidence detection associated with the
+// target box, or ok=false. A detection matches when its IoU with the target
+// reaches minIoU, or when the two boxes contain each other's centers —
+// ground markings project to very flat boxes whose IoU against square
+// anchor predictions is unreliable, so center containment is the fallback.
+func MatchTarget(dets []Detection, target scene.Box, minIoU float64) (Detection, bool) {
+	centerIn := func(b scene.Box, cx, cy float64) bool {
+		x0, y0, x1, y1 := b.X0Y0X1Y1()
+		return cx >= x0 && cx <= x1 && cy >= y0 && cy <= y1
+	}
+	best := Detection{}
+	found := false
+	for _, d := range dets {
+		match := d.Box.IoU(target) >= minIoU ||
+			(centerIn(target, d.Box.CX, d.Box.CY) && centerIn(d.Box, target.CX, target.CY))
+		if match && (!found || d.Confidence > best.Confidence) {
+			best, found = d, true
+		}
+	}
+	return best, found
+}

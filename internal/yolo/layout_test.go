@@ -1,0 +1,86 @@
+package yolo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadtrojan/internal/tensor"
+)
+
+func TestHeadLayoutIndexBijective(t *testing.T) {
+	// Every (sample, anchor, field, cy, cx) must map to a distinct flat
+	// offset inside the tensor.
+	m := New(rand.New(rand.NewSource(1)), tinyConfig())
+	h := emptyHeads(m, 2)
+	l := m.layout(h.Fine, true)
+	seen := make(map[int]bool)
+	per := 5 + l.classes
+	for s := 0; s < 2; s++ {
+		for a := 0; a < AnchorsPerHead; a++ {
+			for f := 0; f < per; f++ {
+				for cy := 0; cy < l.gh; cy++ {
+					for cx := 0; cx < l.gw; cx++ {
+						off := l.at(s, a, f, cy, cx)
+						if off < 0 || off >= h.Fine.Len() {
+							t.Fatalf("offset %d out of range", off)
+						}
+						if seen[off] {
+							t.Fatalf("duplicate offset %d", off)
+						}
+						seen[off] = true
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != h.Fine.Len() {
+		t.Fatalf("covered %d of %d elements", len(seen), h.Fine.Len())
+	}
+}
+
+func TestClampExpBounds(t *testing.T) {
+	if clampExp(10) != 4 || clampExp(-10) != -6 || clampExp(1.5) != 1.5 {
+		t.Fatal("clampExp bounds wrong")
+	}
+}
+
+func TestAnchorIoUProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w1, h1 := 1+r.Float64()*20, 1+r.Float64()*20
+		w2, h2 := 1+r.Float64()*20, 1+r.Float64()*20
+		iou := anchorIoU(w1, h1, w2, h2)
+		if iou < 0 || iou > 1 {
+			return false
+		}
+		// Self IoU is 1; symmetry holds.
+		return anchorIoU(w1, h1, w1, h1) > 0.999 &&
+			anchorIoU(w1, h1, w2, h2) == anchorIoU(w2, h2, w1, h1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadAnchorsSelection(t *testing.T) {
+	m := New(rand.New(rand.NewSource(2)), tinyConfig())
+	if m.HeadAnchors(true) != m.Cfg.FineAnchors {
+		t.Fatal("fine anchors wrong")
+	}
+	if m.HeadAnchors(false) != m.Cfg.CoarseAnchors {
+		t.Fatal("coarse anchors wrong")
+	}
+}
+
+func TestBackwardPanicsWithoutHeadGrads(t *testing.T) {
+	m := New(rand.New(rand.NewSource(3)), tinyConfig())
+	x := tensor.NewRandU(rand.New(rand.NewSource(4)), 0, 1, 1, 3, 32, 32)
+	m.Forward(x)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty Heads")
+		}
+	}()
+	m.Backward(Heads{})
+}

@@ -1,0 +1,219 @@
+package yolo
+
+import (
+	"math"
+
+	"roadtrojan/internal/nn"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/tensor"
+)
+
+// LossWeights balance the YOLO training objective.
+type LossWeights struct {
+	Coord  float64
+	Obj    float64
+	NoObj  float64
+	Class  float64
+	Ignore float64 // IoU above which unassigned predictions are not punished
+	// LabelSmooth mixes ε of uniform mass into the class targets. Darknet
+	// models calibrate on noisy real photos; on a clean synthetic dataset
+	// the smoothing stops class logits from growing unboundedly confident,
+	// keeping the victim's decision margins realistic.
+	LabelSmooth float64
+}
+
+// DefaultLossWeights follow YOLOv3 conventions.
+func DefaultLossWeights() LossWeights {
+	return LossWeights{Coord: 5, Obj: 1, NoObj: 0.5, Class: 1, Ignore: 0.6, LabelSmooth: 0.1}
+}
+
+// LossResult reports the loss value split into components plus the head
+// gradients to feed Model.Backward.
+type LossResult struct {
+	Total, Coord, Obj, NoObj, Class float64
+	Grad                            Heads
+}
+
+// assignment routes a ground-truth object to one head/anchor/cell.
+type assignment struct {
+	fine           bool
+	anchor, cy, cx int
+	obj            scene.Object
+}
+
+// anchorIoU is the IoU of two centered boxes given only their sizes.
+func anchorIoU(w1, h1, w2, h2 float64) float64 {
+	iw := math.Min(w1, w2)
+	ih := math.Min(h1, h2)
+	inter := iw * ih
+	union := w1*h1 + w2*h2 - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// assign picks, for each object, the best-IoU anchor across both heads.
+func (m *Model) assign(objs []scene.Object, coarse, fine headLayout) []assignment {
+	var out []assignment
+	for _, o := range objs {
+		bestIoU, bestFine, bestA := -1.0, false, 0
+		for a := 0; a < AnchorsPerHead; a++ {
+			if iou := anchorIoU(o.Box.W, o.Box.H, m.Cfg.CoarseAnchors[a].W, m.Cfg.CoarseAnchors[a].H); iou > bestIoU {
+				bestIoU, bestFine, bestA = iou, false, a
+			}
+			if iou := anchorIoU(o.Box.W, o.Box.H, m.Cfg.FineAnchors[a].W, m.Cfg.FineAnchors[a].H); iou > bestIoU {
+				bestIoU, bestFine, bestA = iou, true, a
+			}
+		}
+		l := coarse
+		if bestFine {
+			l = fine
+		}
+		cx := int(o.Box.CX) / l.stride
+		cy := int(o.Box.CY) / l.stride
+		if cx < 0 || cx >= l.gw || cy < 0 || cy >= l.gh {
+			continue
+		}
+		out = append(out, assignment{fine: bestFine, anchor: bestA, cy: cy, cx: cx, obj: o})
+	}
+	return out
+}
+
+// Loss computes the YOLOv3-style training loss over a batch and its
+// gradient with respect to the raw head outputs. labels[i] holds sample i's
+// ground truth.
+func (m *Model) Loss(h Heads, labels [][]scene.Object, w LossWeights) LossResult {
+	n := h.Coarse.Dim(0)
+	res := LossResult{Grad: Heads{
+		Coarse: tensor.New(h.Coarse.Shape()...),
+		Fine:   tensor.New(h.Fine.Shape()...),
+	}}
+	coarseL := m.layout(h.Coarse, false)
+	fineL := m.layout(h.Fine, true)
+	invN := 1 / float64(n)
+
+	for s := 0; s < n; s++ {
+		asg := m.assign(labels[s], coarseL, fineL)
+		assignedSet := make(map[[4]int]bool, len(asg))
+		for _, a := range asg {
+			f := 0
+			if a.fine {
+				f = 1
+			}
+			assignedSet[[4]int{f, a.anchor, a.cy, a.cx}] = true
+		}
+		m.lossHead(h.Coarse, res.Grad.Coarse, s, false, coarseL, labels[s], asg, assignedSet, w, invN, &res)
+		m.lossHead(h.Fine, res.Grad.Fine, s, true, fineL, labels[s], asg, assignedSet, w, invN, &res)
+	}
+	res.Total = res.Coord + res.Obj + res.NoObj + res.Class
+	return res
+}
+
+func (m *Model) lossHead(raw, grad *tensor.Tensor, s int, fine bool, l headLayout,
+	objs []scene.Object, asg []assignment, assigned map[[4]int]bool,
+	w LossWeights, invN float64, res *LossResult) {
+
+	data := raw.Data()
+	g := grad.Data()
+	fflag := 0
+	if fine {
+		fflag = 1
+	}
+
+	// Negative objectness everywhere not assigned and not ignorable.
+	for a := 0; a < AnchorsPerHead; a++ {
+		for cy := 0; cy < l.gh; cy++ {
+			for cx := 0; cx < l.gw; cx++ {
+				if assigned[[4]int{fflag, a, cy, cx}] {
+					continue
+				}
+				oi := l.at(s, a, 4, cy, cx)
+				obj := nn.SigmoidScalar(data[oi])
+				// Ignore confident predictions that genuinely overlap a GT.
+				if obj > 0.5 && m.cellPredIoU(data, s, a, cy, cx, l, objs) > w.Ignore {
+					continue
+				}
+				// BCE(σ, 0) = −log(1−σ); dBCE/dlogit = σ.
+				res.NoObj += -math.Log(math.Max(1-obj, 1e-9)) * w.NoObj * invN
+				g[oi] += obj * w.NoObj * invN
+			}
+		}
+	}
+
+	for _, a := range asg {
+		if a.fine != fine {
+			continue
+		}
+		o := a.obj
+		anchors := m.HeadAnchors(fine)
+		// Coordinate targets.
+		txT := o.Box.CX/float64(l.stride) - float64(a.cx)
+		tyT := o.Box.CY/float64(l.stride) - float64(a.cy)
+		twT := math.Log(math.Max(o.Box.W, 1) / anchors[a.anchor].W)
+		thT := math.Log(math.Max(o.Box.H, 1) / anchors[a.anchor].H)
+
+		xi := l.at(s, a.anchor, 0, a.cy, a.cx)
+		yi := l.at(s, a.anchor, 1, a.cy, a.cx)
+		wi := l.at(s, a.anchor, 2, a.cy, a.cx)
+		hi := l.at(s, a.anchor, 3, a.cy, a.cx)
+		oi := l.at(s, a.anchor, 4, a.cy, a.cx)
+
+		sx := nn.SigmoidScalar(data[xi])
+		sy := nn.SigmoidScalar(data[yi])
+		res.Coord += w.Coord * invN * ((sx-txT)*(sx-txT) + (sy-tyT)*(sy-tyT) +
+			(data[wi]-twT)*(data[wi]-twT) + (data[hi]-thT)*(data[hi]-thT))
+		g[xi] += w.Coord * invN * 2 * (sx - txT) * sx * (1 - sx)
+		g[yi] += w.Coord * invN * 2 * (sy - tyT) * sy * (1 - sy)
+		g[wi] += w.Coord * invN * 2 * (data[wi] - twT)
+		g[hi] += w.Coord * invN * 2 * (data[hi] - thT)
+
+		// Positive objectness: BCE(σ, 1) = −log σ; dBCE/dlogit = σ−1.
+		obj := nn.SigmoidScalar(data[oi])
+		res.Obj += -math.Log(math.Max(obj, 1e-9)) * w.Obj * invN
+		g[oi] += (obj - 1) * w.Obj * invN
+
+		// Class cross-entropy with softmax.
+		probs := make([]float64, l.classes)
+		maxLogit := math.Inf(-1)
+		for c := 0; c < l.classes; c++ {
+			probs[c] = data[l.at(s, a.anchor, 5+c, a.cy, a.cx)]
+			if probs[c] > maxLogit {
+				maxLogit = probs[c]
+			}
+		}
+		sum := 0.0
+		for c := range probs {
+			probs[c] = math.Exp(probs[c] - maxLogit)
+			sum += probs[c]
+		}
+		tc := o.Class.Index()
+		eps := w.LabelSmooth
+		for c := range probs {
+			probs[c] /= sum
+			target := eps / float64(l.classes)
+			if c == tc {
+				target += 1 - eps
+			}
+			g[l.at(s, a.anchor, 5+c, a.cy, a.cx)] += (probs[c] - target) * w.Class * invN
+			res.Class += -target * math.Log(math.Max(probs[c], 1e-9)) * w.Class * invN
+		}
+	}
+}
+
+// cellPredIoU decodes the box predicted at one anchor cell and returns its
+// best IoU with the ground truth (for the ignore rule).
+func (m *Model) cellPredIoU(data []float64, s, a, cy, cx int, l headLayout, objs []scene.Object) float64 {
+	tx := nn.SigmoidScalar(data[l.at(s, a, 0, cy, cx)])
+	ty := nn.SigmoidScalar(data[l.at(s, a, 1, cy, cx)])
+	w := l.anchors[a].W * math.Exp(clampExp(data[l.at(s, a, 2, cy, cx)]))
+	h := l.anchors[a].H * math.Exp(clampExp(data[l.at(s, a, 3, cy, cx)]))
+	pred := scene.Box{CX: (float64(cx) + tx) * float64(l.stride), CY: (float64(cy) + ty) * float64(l.stride), W: w, H: h}
+	best := 0.0
+	for _, o := range objs {
+		if iou := pred.IoU(o.Box); iou > best {
+			best = iou
+		}
+	}
+	return best
+}

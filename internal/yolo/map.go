@@ -1,0 +1,98 @@
+package yolo
+
+import (
+	"sort"
+
+	"roadtrojan/internal/scene"
+)
+
+// APResult is the average precision of one class.
+type APResult struct {
+	Class scene.Class
+	AP    float64
+	// GT is the number of ground-truth instances; Dets the number of
+	// predictions considered.
+	GT, Dets int
+}
+
+// MeanAP evaluates detections over a labeled set and returns per-class
+// average precision (11-point interpolated, PASCAL VOC style) plus the mean
+// over classes that have ground truth.
+func MeanAP(m *Model, frames []scene.Frame, opts DecodeOptions, iouThresh float64) ([]APResult, float64) {
+	m.SetTraining(false)
+	type scored struct {
+		conf    float64
+		frame   int
+		box     scene.Box
+		matched bool
+	}
+	perClass := make(map[scene.Class][]scored)
+	gtCount := make(map[scene.Class]int)
+	gtBoxes := make([][]scene.Object, len(frames))
+
+	for i, f := range frames {
+		gtBoxes[i] = f.Objects
+		for _, o := range f.Objects {
+			gtCount[o.Class]++
+		}
+		x, _ := scene.Batch([]scene.Frame{f}, 0, 1)
+		heads := m.Forward(x)
+		for _, d := range m.DecodeSample(heads, 0, opts) {
+			perClass[d.Class] = append(perClass[d.Class], scored{conf: d.Confidence, frame: i, box: d.Box})
+		}
+	}
+
+	var results []APResult
+	sum, counted := 0.0, 0
+	for c := scene.Person; c <= scene.Bicycle; c++ {
+		gt := gtCount[c]
+		dets := perClass[c]
+		if gt == 0 {
+			continue
+		}
+		sort.Slice(dets, func(i, j int) bool { return dets[i].conf > dets[j].conf })
+		used := make(map[[2]int]bool) // (frame, gtIndex) consumed
+		tp := make([]int, len(dets))
+		for di, d := range dets {
+			bestIoU, bestJ := 0.0, -1
+			for j, o := range gtBoxes[d.frame] {
+				if o.Class != c || used[[2]int{d.frame, j}] {
+					continue
+				}
+				if iou := d.box.IoU(o.Box); iou > bestIoU {
+					bestIoU, bestJ = iou, j
+				}
+			}
+			if bestIoU >= iouThresh && bestJ >= 0 {
+				tp[di] = 1
+				used[[2]int{d.frame, bestJ}] = true
+			}
+		}
+		// Precision/recall curve.
+		var precs, recs []float64
+		cumTP := 0
+		for di := range dets {
+			cumTP += tp[di]
+			precs = append(precs, float64(cumTP)/float64(di+1))
+			recs = append(recs, float64(cumTP)/float64(gt))
+		}
+		ap := 0.0
+		for _, r := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+			best := 0.0
+			for i := range precs {
+				if recs[i] >= r && precs[i] > best {
+					best = precs[i]
+				}
+			}
+			ap += best / 11
+		}
+		results = append(results, APResult{Class: c, AP: ap, GT: gt, Dets: len(dets)})
+		sum += ap
+		counted++
+	}
+	mean := 0.0
+	if counted > 0 {
+		mean = sum / float64(counted)
+	}
+	return results, mean
+}

@@ -1,0 +1,57 @@
+package yolo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/tensor"
+)
+
+func grayFrame(size int) *tensor.Tensor {
+	return tensor.Full(0.5, 3, size, size)
+}
+
+func TestMeanAPBoundsOnRandomModel(t *testing.T) {
+	cfg := scene.DatasetConfig{Cam: scene.DefaultCamera(), NumTrain: 2, NumTest: 4, Seed: 9}
+	ds := scene.GenerateDataset(cfg)
+	m := New(rand.New(rand.NewSource(20)), DefaultConfig())
+	results, mean := MeanAP(m, ds.Test, DefaultDecode(), 0.5)
+	if mean < 0 || mean > 1 {
+		t.Fatalf("mAP = %v", mean)
+	}
+	for _, r := range results {
+		if r.AP < 0 || r.AP > 1 {
+			t.Fatalf("AP(%v) = %v", r.Class, r.AP)
+		}
+		if r.GT <= 0 {
+			t.Fatalf("class %v reported with no ground truth", r.Class)
+		}
+	}
+}
+
+func TestMeanAPNoDetectionsIsZero(t *testing.T) {
+	m := New(rand.New(rand.NewSource(21)), tinyConfig())
+	frames := []scene.Frame{{
+		Image:   grayFrame(32),
+		Objects: []scene.Object{{Class: scene.Car, Box: scene.Box{CX: 16, CY: 16, W: 16, H: 16}}},
+	}}
+	// Impossible threshold: nothing is detected, so AP must be 0.
+	_, mean := MeanAP(m, frames, DecodeOptions{ConfThreshold: 0.999999, NMSIoU: 0.45, MaxDetections: 5}, 0.5)
+	if mean != 0 {
+		t.Fatalf("mAP with no detections = %v, want 0", mean)
+	}
+}
+
+func TestMeanAPNoGroundTruth(t *testing.T) {
+	m := New(rand.New(rand.NewSource(22)), tinyConfig())
+	frames := []scene.Frame{{Image: grayFrame(32), Objects: nil}}
+	results, mean := MeanAP(m, frames, DefaultDecode(), 0.5)
+	if len(results) != 0 || mean != 0 {
+		t.Fatalf("no-GT evaluation must be empty: %v %v", results, mean)
+	}
+	if math.IsNaN(mean) {
+		t.Fatal("NaN mAP")
+	}
+}

@@ -1,0 +1,220 @@
+// Package roadtrojan reproduces "Road Decals as Trojans: Disrupting
+// Autonomous Vehicle Navigation with Adversarial Patterns" (DSN 2024) as a
+// pure-Go system: a YOLOv3-tiny-style victim detector trained on a
+// synthetic road dataset, a GAN that crafts monochrome shape-constrained
+// adversarial road decals hardened with EOT and consecutive-frame batches,
+// a print-and-capture physical channel, and the PWC/CWC evaluation protocol
+// over rotation / speed / angle challenges.
+//
+// This root package is the public API; the implementation lives under
+// internal/. Typical flow:
+//
+//	det, ds, _ := roadtrojan.TrainDetector(roadtrojan.DefaultDetectorConfig())
+//	sc := roadtrojan.NewSimScene()
+//	patch, _, _ := roadtrojan.CraftPatch(det, sc, roadtrojan.DefaultAttackConfig())
+//	score, _ := roadtrojan.EvaluateScenario(det, sc, patch, roadtrojan.Car, "slow", roadtrojan.DigitalCondition())
+package roadtrojan
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"roadtrojan/internal/attack"
+	"roadtrojan/internal/eval"
+	"roadtrojan/internal/imaging"
+	"roadtrojan/internal/metrics"
+	"roadtrojan/internal/nn"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/shapes"
+	"roadtrojan/internal/tensor"
+	"roadtrojan/internal/yolo"
+)
+
+// Re-exported core types. Aliases keep the internal packages private while
+// giving users real access to the data types they receive.
+type (
+	// Tensor is the dense float64 array type images and patches use.
+	Tensor = tensor.Tensor
+	// Class is one of the five detector labels.
+	Class = scene.Class
+	// Box is a center-format bounding box in pixels.
+	Box = scene.Box
+	// Detection is one decoded detector output.
+	Detection = yolo.Detection
+	// Score bundles PWC and CWC for one evaluation.
+	Score = metrics.Score
+	// AttackConfig parameterizes decal crafting (N, k, shape, α, EOT, …).
+	AttackConfig = attack.Config
+	// Patch is a trained decal artifact.
+	Patch = attack.Patch
+	// Scene is an attacked road location.
+	Scene = attack.Scene
+	// Shape is a decal silhouette (star/circle/square/triangle).
+	Shape = shapes.Shape
+	// Condition fixes the evaluation environment (digital vs physical).
+	Condition = eval.Condition
+	// Table is a paper-style result table.
+	Table = eval.Table
+	// Row is one table row.
+	Row = eval.Row
+)
+
+// The five dataset classes.
+const (
+	Person  = scene.Person
+	Word    = scene.Word
+	Mark    = scene.Mark
+	Car     = scene.Car
+	Bicycle = scene.Bicycle
+)
+
+// The four decal silhouettes.
+const (
+	Star     = shapes.Star
+	Circle   = shapes.Circle
+	Square   = shapes.Square
+	Triangle = shapes.Triangle
+)
+
+// Detector wraps the victim YOLOv3-tiny-style model.
+type Detector struct {
+	model *yolo.Model
+}
+
+// Model exposes the underlying detector to the cmd/bench layer.
+func (d *Detector) Model() *yolo.Model { return d.model }
+
+// DetectorConfig controls detector training.
+type DetectorConfig struct {
+	TrainImages int
+	TestImages  int
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Seed        int64
+	Log         io.Writer
+}
+
+// DefaultDetectorConfig mirrors the paper's dataset split (1000/71).
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{TrainImages: 1000, TestImages: 71, Epochs: 35, BatchSize: 16, LR: 1e-3, Seed: 1}
+}
+
+// TrainDetector generates the synthetic dataset and trains the victim from
+// scratch. It returns the detector and the dataset (for accuracy checks).
+func TrainDetector(cfg DetectorConfig) (*Detector, *scene.Dataset, error) {
+	ds := scene.GenerateDataset(scene.DatasetConfig{
+		Cam: scene.DefaultCamera(), NumTrain: cfg.TrainImages, NumTest: cfg.TestImages, Seed: cfg.Seed,
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	m := yolo.New(rng, yolo.DefaultConfig())
+	tc := yolo.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, LR: cfg.LR, Seed: cfg.Seed + 2,
+		Weights: yolo.DefaultLossWeights(), Log: cfg.Log,
+	}
+	if _, err := yolo.Train(m, ds, tc); err != nil {
+		return nil, nil, fmt.Errorf("roadtrojan: %w", err)
+	}
+	return &Detector{model: m}, ds, nil
+}
+
+// LoadDetector restores a detector from a weights file written by
+// SaveDetector (or cmd/trainyolo).
+func LoadDetector(path string) (*Detector, error) {
+	state, err := nn.LoadStateFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("roadtrojan: %w", err)
+	}
+	m := yolo.New(rand.New(rand.NewSource(0)), yolo.DefaultConfig())
+	if err := m.LoadState(state); err != nil {
+		return nil, fmt.Errorf("roadtrojan: %w", err)
+	}
+	m.SetTraining(false)
+	return &Detector{model: m}, nil
+}
+
+// SaveDetector writes the detector weights to path.
+func (d *Detector) SaveDetector(path string) error {
+	return nn.SaveStateFile(path, d.model.State())
+}
+
+// Detect runs inference on a [3,H,W] image in [0,1].
+func (d *Detector) Detect(img *Tensor) []Detection {
+	d.model.SetTraining(false)
+	batch := img.Reshape(1, 3, img.Dim(1), img.Dim(2))
+	heads := d.model.Forward(batch)
+	return d.model.DecodeSample(heads, 0, yolo.DefaultDecode())
+}
+
+// NewRoadScene builds the "real-world environment": a textured asphalt road
+// with a painted arrow target at (0, 15).
+func NewRoadScene(seed int64) Scene {
+	rng := rand.New(rand.NewSource(seed))
+	g := scene.NewRoad(rng, 8, 30, 0.05)
+	return attack.NewArrowScene(g, 0, 15, 1.8)
+}
+
+// NewSimScene builds the paper's simulated environment: uniform gray ground
+// ("gray paper") with a white arrow.
+func NewSimScene() Scene {
+	g := scene.NewSimRoom(8, 30, 0.05)
+	return attack.NewArrowScene(g, 0, 15, 1.8)
+}
+
+// DefaultAttackConfig returns the paper's main attack setting.
+func DefaultAttackConfig() AttackConfig { return attack.DefaultConfig() }
+
+// CraftPatch trains our GAN-based monochrome decal attack against the
+// detector on the given scene.
+func CraftPatch(d *Detector, sc Scene, cfg AttackConfig, log io.Writer) (*Patch, error) {
+	p, _, err := attack.Train(d.model, scene.DefaultCamera(), sc, cfg, log)
+	return p, err
+}
+
+// CraftBaselinePatch trains the colored EOT baseline [34] (Sava et al.).
+func CraftBaselinePatch(d *Detector, sc Scene, cfg AttackConfig, log io.Writer) (*Patch, error) {
+	p, _, err := attack.TrainBaseline(d.model, scene.DefaultCamera(), sc, cfg, log)
+	return p, err
+}
+
+// DigitalCondition evaluates without print/capture loss.
+func DigitalCondition() Condition { return eval.Digital() }
+
+// PhysicalCondition evaluates through the print-and-capture channel,
+// averaging three runs like the paper.
+func PhysicalCondition() Condition { return eval.DefaultCondition() }
+
+// EvaluateScenario runs one challenge ("fix", "slight", "slow", "normal",
+// "fast", "angle-15", "angle0", "angle+15") and returns the PWC/CWC score.
+// patch may be nil for the no-attack row.
+func EvaluateScenario(d *Detector, sc Scene, patch *Patch, target Class, challenge string, cond Condition) (Score, error) {
+	ch := scene.Challenges(challenge)[0]
+	return eval.RunScenario(d.model, scene.DefaultCamera(), sc, patch, target, ch, cond)
+}
+
+// EvaluateRow scores a patch across several challenges as one table row.
+func EvaluateRow(d *Detector, sc Scene, patch *Patch, target Class, name string, challenges []string, cond Condition) (Row, error) {
+	return eval.RunRow(d.model, scene.DefaultCamera(), sc, patch, target, name, challenges, cond)
+}
+
+// AllChallenges lists the Table I column order.
+func AllChallenges() []string {
+	out := make([]string, len(scene.AllChallengeNames))
+	copy(out, scene.AllChallengeNames)
+	return out
+}
+
+// SavePatchPNG writes the patch's print image to a PNG file.
+func SavePatchPNG(path string, p *Patch) error {
+	return imaging.SavePNG(path, p.RenderPrint())
+}
+
+// VerifyDigital mirrors the paper's protocol: before a physical deployment,
+// confirm the patch succeeds in the digital world. It returns the fraction
+// of stationary verification views in which the detector reports the
+// patch's target class.
+func VerifyDigital(d *Detector, sc Scene, p *Patch) (float64, error) {
+	rng := rand.New(rand.NewSource(12345))
+	return attack.VerifyDigital(d.model, scene.DefaultCamera(), sc, p, rng)
+}
