@@ -1,0 +1,28 @@
+# Development entry points. `make check` is the tier-1 verify path:
+# build + vet + race-enabled tests (scripts/check.sh).
+
+.PHONY: check build vet test race bench serve
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Regenerate the paper tables/figures at reduced budget (needs
+# testdata/detector.rtwt from `go run ./cmd/trainyolo`).
+bench:
+	go test -bench . -benchtime 1x -run '^$$' .
+
+# Run the evaluation service locally.
+serve:
+	go run ./cmd/servd -addr :8080

@@ -40,17 +40,24 @@ func run() error {
 	)
 	flag.Parse()
 
+	var nums []int
+	for _, r := range *tricks {
+		if r < '1' || r > '5' {
+			return fmt.Errorf("bad -tricks %q: each character must be a trick number 1-5 (e.g. 1245)", *tricks)
+		}
+		nums = append(nums, int(r-'0'))
+	}
+	if *env != "road" && *env != "sim" {
+		return fmt.Errorf("unknown -env %q (want road or sim)", *env)
+	}
+
 	det, err := roadtrojan.LoadDetector(*weights)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w (train one first: go run ./cmd/trainyolo -out %s)", err, *weights)
 	}
 	sh, err := shapes.ParseShape(*shape)
 	if err != nil {
 		return err
-	}
-	var nums []int
-	for _, r := range *tricks {
-		nums = append(nums, int(r-'0'))
 	}
 
 	cfg := attack.DefaultConfig()

@@ -37,7 +37,7 @@ func run() error {
 
 	det, err := roadtrojan.LoadDetector(*weights)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w (train one first: go run ./cmd/trainyolo -out %s)", err, *weights)
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err

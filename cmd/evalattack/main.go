@@ -32,9 +32,25 @@ func run() error {
 	)
 	flag.Parse()
 
+	names := splitChallenges(*challenges)
+	if len(names) == 0 {
+		return fmt.Errorf("-challenges is empty; valid names: %s", strings.Join(roadtrojan.AllChallenges(), ", "))
+	}
+	for _, ch := range names {
+		if !knownChallenge(ch) {
+			return fmt.Errorf("unknown challenge %q; valid names: %s", ch, strings.Join(roadtrojan.AllChallenges(), ", "))
+		}
+	}
+	if *mode != "physical" && *mode != "digital" {
+		return fmt.Errorf("unknown -mode %q (want physical or digital)", *mode)
+	}
+	if *env != "road" && *env != "sim" {
+		return fmt.Errorf("unknown -env %q (want road or sim)", *env)
+	}
+
 	det, err := roadtrojan.LoadDetector(*weights)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w (train one first: go run ./cmd/trainyolo -out %s)", err, *weights)
 	}
 	sc := roadtrojan.NewRoadScene(*seed)
 	if *env == "sim" {
@@ -56,11 +72,7 @@ func run() error {
 	cond.Runs = *runs
 	cond.Seed = *seed
 
-	for _, ch := range strings.Split(*challenges, ",") {
-		ch = strings.TrimSpace(ch)
-		if ch == "" {
-			continue
-		}
+	for _, ch := range names {
 		s, err := roadtrojan.EvaluateScenario(det, sc, p, target, ch, cond)
 		if err != nil {
 			return err
@@ -69,4 +81,27 @@ func run() error {
 			ch, s.String(), s.Frames, s.DetectRate, s.WrongRun)
 	}
 	return nil
+}
+
+// splitChallenges parses the comma-separated -challenges flag, dropping
+// empty segments.
+func splitChallenges(s string) []string {
+	var out []string
+	for _, ch := range strings.Split(s, ",") {
+		if ch = strings.TrimSpace(ch); ch != "" {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// knownChallenge reports whether name is a valid challenge; unknown names
+// would otherwise panic deep inside scene.Challenges.
+func knownChallenge(name string) bool {
+	for _, n := range roadtrojan.AllChallenges() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,73 @@
+// Command servd runs the concurrent patch-evaluation service: a worker pool
+// of detector replicas behind POST /v1/detect, POST /v1/evaluate,
+// GET /healthz and GET /metrics. SIGTERM/SIGINT drain gracefully: the
+// listener stops accepting, in-flight evaluations finish, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"roadtrojan"
+
+	"roadtrojan/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		weights = flag.String("weights", "testdata/detector.rtwt", "detector weights")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "job queue capacity (0 = 2×workers)")
+		cache   = flag.Int("cache", 128, "evaluation result cache entries (negative disables)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-job deadline")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	det, err := roadtrojan.LoadDetector(*weights)
+	if err != nil {
+		return fmt.Errorf("load detector: %w (train one first: go run ./cmd/trainyolo -out %s)", err, *weights)
+	}
+
+	s := serve.New(det.Model(), serve.Config{
+		Workers: *workers, QueueSize: *queue, CacheSize: *cache, JobTimeout: *timeout,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe(*addr) }()
+	fmt.Printf("servd: listening on %s (weights %s)\n", *addr, *weights)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("servd: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Println("servd: drained, bye")
+	return nil
+}

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"bytes"
 	"fmt"
 
 	"roadtrojan/internal/eot"
@@ -10,9 +11,9 @@ import (
 	"roadtrojan/internal/tensor"
 )
 
-// SavePatch writes a trained patch (tensors + config) to path using the
-// project weight format.
-func SavePatch(path string, p *Patch) error {
+// patchState flattens a patch into the project weight-state map shared by
+// the file format and the serving wire format.
+func patchState(p *Patch) nn.State {
 	s := nn.State{
 		"cfg": configTensor(p.Cfg),
 	}
@@ -23,7 +24,34 @@ func SavePatch(path string, p *Patch) error {
 	if p.RGB != nil {
 		s["rgb"] = p.RGB
 	}
-	return nn.SaveStateFile(path, s)
+	return s
+}
+
+// SavePatch writes a trained patch (tensors + config) to path using the
+// project weight format.
+func SavePatch(path string, p *Patch) error {
+	return nn.SaveStateFile(path, patchState(p))
+}
+
+// EncodePatch serializes a patch to the project weight format in memory —
+// the payload /v1/evaluate carries (base64-wrapped) on the wire. The bytes
+// are identical to a SavePatch file.
+func EncodePatch(p *Patch) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := nn.SaveState(&buf, patchState(p)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePatch parses a patch encoded by EncodePatch (or a SavePatch file
+// read into memory).
+func DecodePatch(data []byte) (*Patch, error) {
+	s, err := nn.LoadState(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return patchFromState(s)
 }
 
 // LoadPatch restores a patch written by SavePatch.
@@ -32,6 +60,11 @@ func LoadPatch(path string) (*Patch, error) {
 	if err != nil {
 		return nil, err
 	}
+	return patchFromState(s)
+}
+
+// patchFromState rebuilds a patch from its weight-state map.
+func patchFromState(s nn.State) (*Patch, error) {
 	ct, ok := s["cfg"]
 	if !ok {
 		return nil, fmt.Errorf("attack: %w: missing config", nn.ErrBadWeights)

@@ -38,9 +38,11 @@ func Digital() Condition {
 	return c
 }
 
-// ScoreVideo classifies the target in every frame and scores the video.
-func ScoreVideo(det *yolo.Model, frames []scene.VideoFrame, target scene.Class,
-	ch physical.Channel, rng *rand.Rand, matchIoU float64) metrics.Score {
+// FrameResults classifies the target in every frame, returning the per-frame
+// verdicts ScoreVideo aggregates. The detector must not be shared with other
+// goroutines while this runs (see the internal/nn package comment).
+func FrameResults(det *yolo.Model, frames []scene.VideoFrame, ch physical.Channel,
+	rng *rand.Rand, matchIoU float64) []metrics.FrameResult {
 
 	results := make([]metrics.FrameResult, 0, len(frames))
 	opts := yolo.DefaultDecode()
@@ -63,7 +65,69 @@ func ScoreVideo(det *yolo.Model, frames []scene.VideoFrame, target scene.Class,
 		}
 		results = append(results, metrics.FrameResult{Detected: true, Class: d.Class, Confidence: d.Confidence})
 	}
-	return metrics.Evaluate(results, target)
+	return results
+}
+
+// ScoreVideo classifies the target in every frame and scores the video.
+func ScoreVideo(det *yolo.Model, frames []scene.VideoFrame, target scene.Class,
+	ch physical.Channel, rng *rand.Rand, matchIoU float64) metrics.Score {
+	return metrics.Evaluate(FrameResults(det, frames, ch, rng, matchIoU), target)
+}
+
+// Job bundles everything one scenario evaluation needs. It is the unit of
+// work the serving layer queues: a worker binds its own detector replica to
+// Det and calls a JobFunc on the rest.
+type Job struct {
+	Det    *yolo.Model
+	Cam    scene.Camera
+	Scene  attack.Scene
+	Patch  *attack.Patch // nil = no attack
+	Target scene.Class
+	Ch     scene.Challenge
+	Cond   Condition
+}
+
+// Detail is a scenario's aggregate score plus each run's per-frame results
+// (what /v1/evaluate returns beyond the table-cell numbers).
+type Detail struct {
+	Score metrics.Score
+	Runs  [][]metrics.FrameResult
+}
+
+// JobFunc evaluates one scenario job. RunJob is the canonical
+// implementation; tests and the serving layer may inject their own.
+type JobFunc func(Job) (Detail, error)
+
+// RunJob evaluates one patch (nil = no attack) under one challenge,
+// averaging j.Cond.Runs repetitions with per-run print jobs and
+// trajectories. The run loop is deterministic in j.Cond.Seed, so equal jobs
+// produce bit-identical details regardless of which detector replica runs
+// them.
+func RunJob(j Job) (Detail, error) {
+	j.Det.SetTraining(false)
+	d := Detail{Runs: make([][]metrics.FrameResult, 0, j.Cond.Runs)}
+	var scores []metrics.Score
+	for run := 0; run < j.Cond.Runs; run++ {
+		rng := rand.New(rand.NewSource(j.Cond.Seed + int64(run)*7919))
+		ground := j.Scene.Ground
+		if j.Patch != nil {
+			var err error
+			ground, err = attack.Deploy(j.Scene, j.Patch, j.Cond.Channel, rng)
+			if err != nil {
+				return Detail{}, fmt.Errorf("eval: deploy: %w", err)
+			}
+		}
+		steps := scene.BuildTrajectory(j.Cam, j.Ch, j.Scene.TargetGX, j.Scene.TargetGY, rng)
+		frames, err := scene.RenderVideo(ground, steps, j.Scene.GX0, j.Scene.GY0, j.Scene.GX1, j.Scene.GY1)
+		if err != nil {
+			return Detail{}, fmt.Errorf("eval: render: %w", err)
+		}
+		results := FrameResults(j.Det, frames, j.Cond.Channel, rng, j.Cond.MatchIoU)
+		d.Runs = append(d.Runs, results)
+		scores = append(scores, metrics.Evaluate(results, j.Target))
+	}
+	d.Score = metrics.Average(scores)
+	return d, nil
 }
 
 // RunScenario evaluates one patch (nil = no attack) under one challenge,
@@ -73,26 +137,11 @@ func ScoreVideo(det *yolo.Model, frames []scene.VideoFrame, target scene.Class,
 func RunScenario(det *yolo.Model, cam scene.Camera, sc attack.Scene, p *attack.Patch,
 	target scene.Class, ch scene.Challenge, cond Condition) (metrics.Score, error) {
 
-	det.SetTraining(false)
-	var scores []metrics.Score
-	for run := 0; run < cond.Runs; run++ {
-		rng := rand.New(rand.NewSource(cond.Seed + int64(run)*7919))
-		ground := sc.Ground
-		if p != nil {
-			var err error
-			ground, err = attack.Deploy(sc, p, cond.Channel, rng)
-			if err != nil {
-				return metrics.Score{}, fmt.Errorf("eval: deploy: %w", err)
-			}
-		}
-		steps := scene.BuildTrajectory(cam, ch, sc.TargetGX, sc.TargetGY, rng)
-		frames, err := scene.RenderVideo(ground, steps, sc.GX0, sc.GY0, sc.GX1, sc.GY1)
-		if err != nil {
-			return metrics.Score{}, fmt.Errorf("eval: render: %w", err)
-		}
-		scores = append(scores, ScoreVideo(det, frames, target, cond.Channel, rng, cond.MatchIoU))
+	d, err := RunJob(Job{Det: det, Cam: cam, Scene: sc, Patch: p, Target: target, Ch: ch, Cond: cond})
+	if err != nil {
+		return metrics.Score{}, err
 	}
-	return metrics.Average(scores), nil
+	return d.Score, nil
 }
 
 // Row is one table row: a method name and its score per challenge.

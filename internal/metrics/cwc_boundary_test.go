@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"testing"
+
+	"roadtrojan/internal/scene"
+)
+
+// wrong returns a frame classified as the attacker's target class.
+func wrong(t scene.Class) FrameResult {
+	return FrameResult{Detected: true, Class: t, Confidence: 0.9}
+}
+
+// correct returns a frame detected as a benign class distinct from t.
+func correct(t scene.Class) FrameResult {
+	other := scene.Mark
+	if t == scene.Mark {
+		other = scene.Car
+	}
+	return FrameResult{Detected: true, Class: other, Confidence: 0.9}
+}
+
+// missed returns a frame with no matched detection at all.
+func missed() FrameResult { return FrameResult{} }
+
+// TestCWCExactWindow pins the boundary: exactly ConsecutiveFrames wrong
+// frames trip CWC; one fewer does not.
+func TestCWCExactWindow(t *testing.T) {
+	target := scene.Car
+	atWindow := []FrameResult{correct(target)}
+	for i := 0; i < ConsecutiveFrames; i++ {
+		atWindow = append(atWindow, wrong(target))
+	}
+	atWindow = append(atWindow, correct(target))
+	if !CWC(atWindow, target) {
+		t.Errorf("exactly %d consecutive wrong frames should satisfy CWC", ConsecutiveFrames)
+	}
+	if got := LongestWrongRun(atWindow, target); got != ConsecutiveFrames {
+		t.Errorf("LongestWrongRun = %d, want %d", got, ConsecutiveFrames)
+	}
+
+	below := []FrameResult{}
+	for i := 0; i < ConsecutiveFrames-1; i++ {
+		below = append(below, wrong(target))
+	}
+	if CWC(below, target) {
+		t.Errorf("%d consecutive wrong frames must not satisfy CWC", ConsecutiveFrames-1)
+	}
+}
+
+// TestCWCRunBrokenBySingleMiss checks one missed detection resets the run:
+// wrong,wrong,miss,wrong,wrong has PWC 80% but no confirmation window.
+func TestCWCRunBrokenBySingleMiss(t *testing.T) {
+	target := scene.Car
+	results := []FrameResult{wrong(target), wrong(target), missed(), wrong(target), wrong(target)}
+	if CWC(results, target) {
+		t.Error("a run broken by a missed detection must not satisfy CWC")
+	}
+	if got := LongestWrongRun(results, target); got != 2 {
+		t.Errorf("LongestWrongRun = %d, want 2", got)
+	}
+	if got := PWC(results, target); got != 80 {
+		t.Errorf("PWC = %g, want 80", got)
+	}
+	s := Evaluate(results, target)
+	if s.CWC || s.WrongRun != 2 || s.PWC != 80 {
+		t.Errorf("Evaluate = %+v, want PWC 80, WrongRun 2, CWC false", s)
+	}
+}
+
+// TestCWCRunBrokenByCorrectClass checks a correctly classified frame also
+// resets the window, even though the object stayed detected throughout.
+func TestCWCRunBrokenByCorrectClass(t *testing.T) {
+	target := scene.Car
+	results := []FrameResult{wrong(target), wrong(target), correct(target), wrong(target), wrong(target)}
+	if CWC(results, target) {
+		t.Error("a run broken by a correct-class frame must not satisfy CWC")
+	}
+	s := Evaluate(results, target)
+	if s.DetectRate != 1 {
+		t.Errorf("DetectRate = %g, want 1 (every frame detected something)", s.DetectRate)
+	}
+}
+
+// TestCWCTrajectoryShorterThanWindow checks a video with fewer frames than
+// the confirmation window can never trip CWC, even at 100% PWC.
+func TestCWCTrajectoryShorterThanWindow(t *testing.T) {
+	target := scene.Car
+	short := make([]FrameResult, 0, ConsecutiveFrames-1)
+	for i := 0; i < ConsecutiveFrames-1; i++ {
+		short = append(short, wrong(target))
+	}
+	if CWC(short, target) {
+		t.Errorf("a %d-frame trajectory must not satisfy the %d-frame window", len(short), ConsecutiveFrames)
+	}
+	if got := PWC(short, target); got != 100 {
+		t.Errorf("PWC = %g, want 100", got)
+	}
+	if CWC(nil, target) {
+		t.Error("an empty trajectory must not satisfy CWC")
+	}
+	if got := PWC(nil, target); got != 0 {
+		t.Errorf("PWC of empty video = %g, want 0", got)
+	}
+}

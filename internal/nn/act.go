@@ -49,6 +49,12 @@ func (l *LeakyReLU) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 // Params returns nil.
 func (l *LeakyReLU) Params() []*Param { return nil }
 
+// Clone returns a fresh rectifier with the same slope.
+func (l *LeakyReLU) Clone() *LeakyReLU { return NewLeakyReLU(l.Slope) }
+
+// CloneModule implements Cloner.
+func (l *LeakyReLU) CloneModule() Module { return l.Clone() }
+
 // Sigmoid applies 1/(1+e^-x) elementwise.
 type Sigmoid struct {
 	lastOutput *tensor.Tensor
@@ -79,6 +85,12 @@ func (s *Sigmoid) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 // Params returns nil.
 func (s *Sigmoid) Params() []*Param { return nil }
 
+// Clone returns a fresh sigmoid module.
+func (s *Sigmoid) Clone() *Sigmoid { return NewSigmoid() }
+
+// CloneModule implements Cloner.
+func (s *Sigmoid) CloneModule() Module { return s.Clone() }
+
 // Tanh applies the hyperbolic tangent elementwise.
 type Tanh struct {
 	lastOutput *tensor.Tensor
@@ -108,6 +120,12 @@ func (t *Tanh) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 
 // Params returns nil.
 func (t *Tanh) Params() []*Param { return nil }
+
+// Clone returns a fresh tanh module.
+func (t *Tanh) Clone() *Tanh { return NewTanh() }
+
+// CloneModule implements Cloner.
+func (t *Tanh) CloneModule() Module { return t.Clone() }
 
 // SigmoidScalar is the logistic function on a scalar, shared by modules and
 // the YOLO decoder.
@@ -153,6 +171,12 @@ func (m *MaxPool2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 // Params returns nil.
 func (m *MaxPool2D) Params() []*Param { return nil }
 
+// Clone returns a fresh pool with the same kernel and stride.
+func (m *MaxPool2D) Clone() *MaxPool2D { return NewMaxPool2D(m.Kernel, m.Stride) }
+
+// CloneModule implements Cloner.
+func (m *MaxPool2D) CloneModule() Module { return m.Clone() }
+
 // Upsample2D nearest-neighbour upsamples by an integer factor.
 type Upsample2D struct {
 	Factor int
@@ -181,3 +205,9 @@ func (u *Upsample2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 
 // Params returns nil.
 func (u *Upsample2D) Params() []*Param { return nil }
+
+// Clone returns a fresh upsampler with the same factor.
+func (u *Upsample2D) Clone() *Upsample2D { return NewUpsample2D(u.Factor) }
+
+// CloneModule implements Cloner.
+func (u *Upsample2D) CloneModule() Module { return u.Clone() }

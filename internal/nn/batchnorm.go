@@ -151,3 +151,17 @@ func (b *BatchNorm2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 
 // Params returns γ and β.
 func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Clone returns a deep copy: parameters, running statistics, and the
+// training flag are copied; forward caches are not.
+func (b *BatchNorm2D) Clone() *BatchNorm2D {
+	return &BatchNorm2D{
+		Gamma: b.Gamma.Clone(), Beta: b.Beta.Clone(),
+		C: b.C, Eps: b.Eps, Momentum: b.Momentum,
+		RunningMean: b.RunningMean.Clone(), RunningVar: b.RunningVar.Clone(),
+		training: b.training,
+	}
+}
+
+// CloneModule implements Cloner.
+func (b *BatchNorm2D) CloneModule() Module { return b.Clone() }

@@ -62,6 +62,21 @@ func (c *Conv2D) Params() []*Param {
 	return []*Param{c.Weight}
 }
 
+// Clone returns a deep copy with fresh parameters and no forward cache.
+func (c *Conv2D) Clone() *Conv2D {
+	out := &Conv2D{
+		Weight: c.Weight.Clone(),
+		InC:    c.InC, OutC: c.OutC, Kernel: c.Kernel, Stride: c.Stride, Pad: c.Pad,
+	}
+	if c.Bias != nil {
+		out.Bias = c.Bias.Clone()
+	}
+	return out
+}
+
+// CloneModule implements Cloner.
+func (c *Conv2D) CloneModule() Module { return c.Clone() }
+
 // Linear is a fully connected layer on [N, In] input.
 type Linear struct {
 	Weight *Param // [In, Out]
@@ -112,6 +127,14 @@ func (l *Linear) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 // Params returns the layer's parameters.
 func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
+// Clone returns a deep copy with fresh parameters and no forward cache.
+func (l *Linear) Clone() *Linear {
+	return &Linear{Weight: l.Weight.Clone(), Bias: l.Bias.Clone(), In: l.In, Out: l.Out}
+}
+
+// CloneModule implements Cloner.
+func (l *Linear) CloneModule() Module { return l.Clone() }
+
 // Reshape is a parameterless module that reinterprets its input's shape,
 // keeping the batch dimension and reshaping the rest to the given dims.
 type Reshape struct {
@@ -142,3 +165,9 @@ func (r *Reshape) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 
 // Params returns nil; Reshape has no parameters.
 func (r *Reshape) Params() []*Param { return nil }
+
+// Clone returns a fresh Reshape with the same target dims.
+func (r *Reshape) Clone() *Reshape { return NewReshape(append([]int(nil), r.Dims...)...) }
+
+// CloneModule implements Cloner.
+func (r *Reshape) CloneModule() Module { return r.Clone() }

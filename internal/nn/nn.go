@@ -3,6 +3,16 @@
 // their backward pass needs during Forward; calling Backward before Forward
 // panics. Parameter gradients accumulate across Backward calls until
 // ZeroGrads.
+//
+// # Concurrency
+//
+// Modules are NOT reentrant: every Forward overwrites the layer's cached
+// activations (lastInput and friends), so two goroutines running Forward —
+// or Forward and Backward — on the same module race on those caches and
+// silently corrupt each other's results even in inference mode. To run a
+// network from several goroutines, give each goroutine its own deep replica
+// via the Cloner interface (yolo.Model.Clone builds on it); a clone shares
+// no mutable state with its source.
 package nn
 
 import (
@@ -23,7 +33,15 @@ func NewParam(name string, v *tensor.Tensor) *Param {
 	return &Param{Name: name, Value: v, Grad: tensor.New(v.Shape()...)}
 }
 
-// Module is a differentiable computation stage.
+// Clone returns a deep copy of the parameter: value and gradient are fresh
+// tensors sharing no storage with p.
+func (p *Param) Clone() *Param {
+	return &Param{Name: p.Name, Value: p.Value.Clone(), Grad: p.Grad.Clone()}
+}
+
+// Module is a differentiable computation stage. Modules are not safe for
+// concurrent use: Forward caches activations for Backward in place (see the
+// package comment); clone the module per goroutine instead of sharing it.
 type Module interface {
 	// Forward consumes a batch and returns the module output.
 	Forward(x *tensor.Tensor) *tensor.Tensor
@@ -33,6 +51,26 @@ type Module interface {
 	Backward(dOut *tensor.Tensor) *tensor.Tensor
 	// Params returns the module's learnable parameters (possibly empty).
 	Params() []*Param
+}
+
+// Cloner is implemented by modules that can deep-copy themselves. A clone
+// shares no mutable state with its source — parameters, gradients, running
+// statistics, and forward caches are all fresh — so source and clone can
+// run Forward/Backward from different goroutines without synchronization.
+// Forward caches are not copied: a clone starts as if Forward had never
+// been called.
+type Cloner interface {
+	CloneModule() Module
+}
+
+// MustCloneModule deep-copies m via its Cloner implementation, panicking if
+// the module does not support cloning.
+func MustCloneModule(m Module) Module {
+	c, ok := m.(Cloner)
+	if !ok {
+		panic(fmt.Sprintf("nn: module %T does not implement Cloner", m))
+	}
+	return c.CloneModule()
 }
 
 // ModeSetter is implemented by modules that behave differently in training
@@ -86,6 +124,18 @@ func (s *Sequential) Params() []*Param {
 	}
 	return ps
 }
+
+// Clone deep-copies the chain stage by stage.
+func (s *Sequential) Clone() *Sequential {
+	out := &Sequential{mods: make([]Module, len(s.mods))}
+	for i, m := range s.mods {
+		out.mods[i] = MustCloneModule(m)
+	}
+	return out
+}
+
+// CloneModule implements Cloner.
+func (s *Sequential) CloneModule() Module { return s.Clone() }
 
 // SetTraining propagates the training flag to every stage that cares.
 func (s *Sequential) SetTraining(training bool) {

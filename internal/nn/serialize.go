@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"roadtrojan/internal/tensor"
@@ -136,9 +137,15 @@ func LoadState(r io.Reader) (State, error) {
 	return state, nil
 }
 
-// SaveStateFile writes state to path, creating parent-less files atomically
-// enough for this project (write then rename is overkill here).
+// SaveStateFile writes state to path, creating parent directories as
+// needed, atomically enough for this project (write then rename is
+// overkill here).
 func SaveStateFile(path string, state State) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("save weights: %w", err)
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("save weights: %w", err)

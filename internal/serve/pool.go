@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"roadtrojan/internal/yolo"
+)
+
+// ErrQueueFull is returned by submit when the bounded job queue is at
+// capacity; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrShuttingDown is returned by submit once drain has begun; the HTTP
+// layer maps it to 503 Service Unavailable.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// task is one queued unit of work. run receives the worker's private
+// detector replica; done is buffered so a worker never blocks on a caller
+// that gave up.
+type task struct {
+	ctx  context.Context
+	run  func(det *yolo.Model) (any, error)
+	done chan taskResult
+}
+
+type taskResult struct {
+	v   any
+	err error
+}
+
+// submit enqueues work without blocking: a full queue is backpressure, not
+// a wait. It then blocks until a worker finishes the task or the request
+// context expires.
+func (s *Server) submit(ctx context.Context, run func(det *yolo.Model) (any, error)) (any, error) {
+	t := &task{ctx: ctx, run: run, done: make(chan taskResult, 1)}
+
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		return nil, ErrShuttingDown
+	}
+	select {
+	case s.jobs <- t:
+		s.drainMu.RUnlock()
+		s.queueDepth.Add(1)
+	default:
+		s.drainMu.RUnlock()
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case r := <-t.done:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// worker drains the job queue with its own detector replica until the queue
+// closes at shutdown.
+func (s *Server) worker(det *yolo.Model) {
+	defer s.wg.Done()
+	for t := range s.jobs {
+		s.queueDepth.Add(-1)
+		s.inflight.Add(1)
+		t.done <- s.runTask(t, det)
+		s.inflight.Add(-1)
+	}
+}
+
+// runTask executes one task, converting an expired deadline into an error
+// without running the job, and a job panic into an error instead of killing
+// the worker.
+func (s *Server) runTask(t *task, det *yolo.Model) (res taskResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Inc()
+			res = taskResult{err: fmt.Errorf("serve: job panicked: %v", p)}
+		}
+	}()
+	if err := t.ctx.Err(); err != nil {
+		return taskResult{err: err}
+	}
+	v, err := t.run(det)
+	return taskResult{v: v, err: err}
+}

@@ -1,0 +1,351 @@
+// Package serve is the concurrent patch-evaluation service: the paper's
+// render → detect → PWC/CWC loop behind an HTTP API. A fixed-size worker
+// pool owns one deep-cloned detector replica per worker (internal/nn
+// modules cache activations during Forward, so a shared model is not
+// reentrant), a bounded job queue applies backpressure with 429s instead of
+// unbounded latency, an LRU cache short-circuits repeated evaluations of
+// the same (patch, scene, challenge, seed) tuple, and internal/telemetry
+// exposes counters/gauges/latency histograms on GET /metrics.
+//
+// Endpoints:
+//
+//	POST /v1/detect    one rendered frame → decoded detections
+//	POST /v1/evaluate  patch + scene + challenge → per-frame results, PWC, CWC
+//	GET  /healthz      liveness + queue occupancy
+//	GET  /metrics      Prometheus text exposition
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"roadtrojan/internal/attack"
+	"roadtrojan/internal/eval"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/telemetry"
+	"roadtrojan/internal/tensor"
+	"roadtrojan/internal/yolo"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the job queue; 0 means 2×Workers. A full queue
+	// rejects with 429.
+	QueueSize int
+	// CacheSize is the evaluation result cache capacity in entries;
+	// 0 means 128, negative disables caching.
+	CacheSize int
+	// JobTimeout is the per-job context deadline; 0 means 2 minutes.
+	JobTimeout time.Duration
+	// Job evaluates one scenario. Nil means eval.RunJob; tests inject
+	// stubs to exercise queueing without rendering.
+	Job eval.JobFunc
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config { return Config{} }
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 2 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.Job == nil {
+		c.Job = eval.RunJob
+	}
+}
+
+// roadSceneSeed fixes the shared road texture; like eval.Env, "the
+// location" stays constant so results are comparable across processes.
+const roadSceneSeed = 7
+
+// Server owns the worker pool, the scenes, the result cache, and the
+// telemetry registry.
+type Server struct {
+	cfg    Config
+	reg    *telemetry.Registry
+	cam    scene.Camera
+	scenes map[string]attack.Scene
+	cache  *lruCache
+	jobs   chan *task
+	wg     sync.WaitGroup
+
+	drainMu  sync.RWMutex
+	draining bool
+
+	httpSrv *http.Server
+
+	queueDepth  *telemetry.Gauge
+	inflight    *telemetry.Gauge
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	rejected    *telemetry.Counter
+	panics      *telemetry.Counter
+}
+
+// New builds the service around a trained detector, cloning one replica per
+// worker and starting the pool. The caller keeps ownership of det; the
+// server never runs inference on it.
+func New(det *yolo.Model, cfg Config) *Server {
+	cfg.fillDefaults()
+	reg := telemetry.NewRegistry()
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		cam:   scene.DefaultCamera(),
+		cache: newLRUCache(cfg.CacheSize),
+		jobs:  make(chan *task, cfg.QueueSize),
+
+		queueDepth:  reg.Gauge("serve_queue_depth", "jobs waiting in the bounded queue", nil),
+		inflight:    reg.Gauge("serve_inflight_jobs", "jobs currently executing on workers", nil),
+		cacheHits:   reg.Counter("serve_cache_hits_total", "evaluate requests answered from the result cache", nil),
+		cacheMisses: reg.Counter("serve_cache_misses_total", "evaluate requests that had to run", nil),
+		rejected:    reg.Counter("serve_rejected_total", "requests rejected with 429 (queue full)", nil),
+		panics:      reg.Counter("serve_job_panics_total", "jobs that panicked and were converted to errors", nil),
+	}
+	reg.Gauge("serve_workers", "worker pool size", nil).Set(float64(cfg.Workers))
+	reg.Gauge("serve_queue_capacity", "bounded job queue capacity", nil).Set(float64(cfg.QueueSize))
+
+	// The two locations evaluation requests can name. Built once: painting
+	// the target arrow mutates the ground, but after this the scenes are
+	// read-only (Deploy composites onto a clone of the texture).
+	road := scene.NewRoad(rand.New(rand.NewSource(roadSceneSeed)), 8, 30, 0.05)
+	sim := scene.NewSimRoom(8, 30, 0.05)
+	s.scenes = map[string]attack.Scene{
+		"road": attack.NewArrowScene(road, 0, 15, 1.8),
+		"sim":  attack.NewArrowScene(sim, 0, 15, 1.8),
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		replica := det.Clone()
+		replica.SetTraining(false)
+		s.wg.Add(1)
+		go s.worker(replica)
+	}
+	return s
+}
+
+// Handler returns the service mux (for embedding or tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/detect", s.instrument("detect", s.handleDetect))
+	mux.Handle("/v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
+	mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("/metrics", s.reg.Handler())
+	return mux
+}
+
+// Metrics exposes the registry (for tests and embedding).
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains gracefully: stop accepting, let in-flight handlers finish
+// (bounded by ctx), then close the queue and wait for the workers to empty
+// it. Safe to call once; submit returns ErrShuttingDown afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var httpErr error
+	if s.httpSrv != nil {
+		httpErr = s.httpSrv.Shutdown(ctx)
+	}
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.jobs)
+	}
+	s.drainMu.Unlock()
+	s.wg.Wait()
+	return httpErr
+}
+
+// instrument wraps a handler with request counting and latency observation.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	hist := s.reg.Histogram("serve_request_seconds", "request latency by endpoint",
+		telemetry.Labels{"endpoint": endpoint}, nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.reg.Counter("serve_requests_total", "requests by endpoint and status code",
+			telemetry.Labels{"endpoint": endpoint, "code": strconv.Itoa(sw.code)}).Inc()
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeSubmitError maps pool errors to HTTP statuses.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.rejected.Inc()
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// handleDetect runs one frame through a worker's detector replica.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req detectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+	v, err := s.submit(ctx, func(det *yolo.Model) (any, error) {
+		img := tensor.FromSlice(req.Image, 1, 3, req.Height, req.Width)
+		heads := det.Forward(img)
+		return det.DecodeSample(heads, 0, yolo.DefaultDecode()), nil
+	})
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, detectResponse{Detections: toWireDetections(v.([]yolo.Detection))})
+}
+
+// handleEvaluate runs a full scenario evaluation, serving repeats from the
+// LRU cache.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req evaluateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	p, target, err := req.normalize()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	key := req.cacheKey()
+	if d, ok := s.cache.get(key); ok {
+		s.cacheHits.Inc()
+		resp := detailToResponse(d.(eval.Detail))
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.cacheMisses.Inc()
+
+	cond := eval.DefaultCondition()
+	if req.Mode == "digital" {
+		cond = eval.Digital()
+	}
+	cond.Runs = req.Runs
+	cond.Seed = req.Seed
+
+	job := eval.Job{
+		Cam:    s.cam,
+		Scene:  s.scenes[req.Scene],
+		Patch:  p,
+		Target: target,
+		Ch:     scene.Challenges(req.Challenge)[0],
+		Cond:   cond,
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+	v, err := s.submit(ctx, func(det *yolo.Model) (any, error) {
+		j := job
+		j.Det = det
+		return s.cfg.Job(j)
+	})
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	detail := v.(eval.Detail)
+	s.cache.put(key, detail)
+	writeJSON(w, http.StatusOK, detailToResponse(detail))
+}
+
+func detailToResponse(d eval.Detail) evaluateResponse {
+	return evaluateResponse{
+		PWC:        d.Score.PWC,
+		CWC:        d.Score.CWC,
+		Frames:     d.Score.Frames,
+		WrongRun:   d.Score.WrongRun,
+		DetectRate: d.Score.DetectRate,
+		Runs:       toWireFrames(d.Runs),
+	}
+}
+
+// handleHealthz reports liveness plus queue occupancy.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"workers":        s.cfg.Workers,
+		"queue_depth":    len(s.jobs),
+		"queue_capacity": cap(s.jobs),
+		"cached_results": s.cache.len(),
+	})
+}

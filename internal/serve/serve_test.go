@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"roadtrojan/internal/attack"
+	"roadtrojan/internal/eval"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/shapes"
+	"roadtrojan/internal/tensor"
+	"roadtrojan/internal/yolo"
+)
+
+// testDetector builds a deterministic (untrained) victim — evaluation only
+// needs a fixed function, not an accurate one.
+func testDetector(t *testing.T) *yolo.Model {
+	t.Helper()
+	m := yolo.New(rand.New(rand.NewSource(11)), yolo.DefaultConfig())
+	m.SetTraining(false)
+	return m
+}
+
+// testPatch crafts an untrained monochrome patch with the base config.
+func testPatch(t *testing.T) *attack.Patch {
+	t.Helper()
+	rng := rand.New(rand.NewSource(12))
+	gray := tensor.New(1, 32, 32)
+	for i := range gray.Data() {
+		gray.Data()[i] = rng.Float64()
+	}
+	cfg := attack.DefaultConfig()
+	return &attack.Patch{Gray: gray, Mask: shapes.Mask(cfg.Shape, 32, cfg.ShapeScale(), 0), Cfg: cfg}
+}
+
+func encodePatchB64(t *testing.T, p *attack.Patch) string {
+	t.Helper()
+	raw, err := attack.EncodePatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+func startServer(t *testing.T, det *yolo.Model, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(det, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// serialScenes rebuilds the exact locations the server evaluates on.
+func serialScenes() map[string]attack.Scene {
+	road := scene.NewRoad(rand.New(rand.NewSource(roadSceneSeed)), 8, 30, 0.05)
+	sim := scene.NewSimRoom(8, 30, 0.05)
+	return map[string]attack.Scene{
+		"road": attack.NewArrowScene(road, 0, 15, 1.8),
+		"sim":  attack.NewArrowScene(sim, 0, 15, 1.8),
+	}
+}
+
+// serialEvaluate runs the same job the server would, on a private replica.
+func serialEvaluate(t *testing.T, det *yolo.Model, scenes map[string]attack.Scene,
+	req evaluateRequest) evaluateResponse {
+	t.Helper()
+	p, target, err := req.normalize()
+	if err != nil {
+		t.Fatalf("normalize serial request: %v", err)
+	}
+	cond := eval.DefaultCondition()
+	if req.Mode == "digital" {
+		cond = eval.Digital()
+	}
+	cond.Runs = req.Runs
+	cond.Seed = req.Seed
+	replica := det.Clone()
+	replica.SetTraining(false)
+	d, err := eval.RunJob(eval.Job{
+		Det: replica, Cam: scene.DefaultCamera(), Scene: scenes[req.Scene],
+		Patch: p, Target: target, Ch: scene.Challenges(req.Challenge)[0], Cond: cond,
+	})
+	if err != nil {
+		t.Fatalf("serial evaluate: %v", err)
+	}
+	return detailToResponse(d)
+}
+
+// requestsTotal sums serve_requests_total for one endpoint across status
+// codes, also returning the per-code breakdown.
+func requestsTotal(t *testing.T, metricsURL, endpoint string) (int, map[string]int) {
+	t.Helper()
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`serve_requests_total\{code="(\d+)",endpoint="` + endpoint + `"\} (\d+)`)
+	total := 0
+	byCode := map[string]int{}
+	for _, m := range re.FindAllStringSubmatch(buf.String(), -1) {
+		n, _ := strconv.Atoi(m[2])
+		total += n
+		byCode[m[1]] += n
+	}
+	return total, byCode
+}
+
+// TestConcurrentEvaluateMatchesSerial is the tentpole acceptance test: the
+// server answers ≥8 concurrent /v1/evaluate requests with results
+// bit-identical to serial evaluation, and /metrics accounts for every one.
+func TestConcurrentEvaluateMatchesSerial(t *testing.T) {
+	det := testDetector(t)
+	_, ts := startServer(t, det, Config{Workers: 4, QueueSize: 32})
+
+	patchB64 := encodePatchB64(t, testPatch(t))
+	reqs := make([]evaluateRequest, 8)
+	for i := range reqs {
+		reqs[i] = evaluateRequest{
+			Scene: "road", Challenge: "fix", Mode: "digital",
+			Runs: 1, Seed: int64(100 + i),
+		}
+		if i%2 == 0 {
+			reqs[i].Patch = patchB64
+		} else {
+			reqs[i].Target = int(scene.Car)
+		}
+		if i == 7 {
+			reqs[i].Scene = "sim"
+		}
+	}
+
+	// Serial references first, on private replicas of the same detector.
+	scenes := serialScenes()
+	want := make([]evaluateResponse, len(reqs))
+	for i, r := range reqs {
+		want[i] = serialEvaluate(t, det, scenes, r)
+	}
+
+	got := make([]evaluateResponse, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/evaluate", reqs[i])
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			if err := json.Unmarshal(body, &got[i]); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for i := range reqs {
+		got[i].Cached = false
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("request %d: concurrent result differs from serial:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+
+	total, byCode := requestsTotal(t, ts.URL+"/metrics", "evaluate")
+	if total != len(reqs) {
+		t.Errorf("serve_requests_total{endpoint=evaluate} = %d (%v), want %d", total, byCode, len(reqs))
+	}
+	if byCode["200"] != len(reqs) {
+		t.Errorf("code=200 count = %d, want %d", byCode["200"], len(reqs))
+	}
+}
+
+// TestEvaluateCacheHit proves the LRU short-circuits a repeated request and
+// returns the identical payload.
+func TestEvaluateCacheHit(t *testing.T) {
+	det := testDetector(t)
+	s, ts := startServer(t, det, Config{Workers: 2})
+
+	req := evaluateRequest{Scene: "road", Challenge: "fix", Mode: "digital",
+		Runs: 1, Seed: 42, Target: int(scene.Car)}
+
+	_, body1 := postJSON(t, ts.URL+"/v1/evaluate", req)
+	resp2, body2 := postJSON(t, ts.URL+"/v1/evaluate", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: %d: %s", resp2.StatusCode, body2)
+	}
+	var first, second evaluateResponse
+	if err := json.Unmarshal(body1, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first response claims cached")
+	}
+	if !second.Cached {
+		t.Error("second response not served from cache")
+	}
+	second.Cached = false
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached result differs:\n got %+v\nwant %+v", second, first)
+	}
+	if s.cacheHits.Value() != 1 || s.cacheMisses.Value() != 1 {
+		t.Errorf("cache hit/miss = %d/%d, want 1/1", s.cacheHits.Value(), s.cacheMisses.Value())
+	}
+}
+
+// TestQueueOverflowReturns429 fills the one-worker, one-slot queue with a
+// blocked job and checks the spillover gets backpressure, not latency.
+func TestQueueOverflowReturns429(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	det := testDetector(t)
+	_, ts := startServer(t, det, Config{
+		Workers: 1, QueueSize: 1,
+		Job: func(j eval.Job) (eval.Detail, error) {
+			started <- struct{}{}
+			<-release
+			return eval.Detail{}, nil
+		},
+	})
+
+	// First request occupies the worker.
+	var wg sync.WaitGroup
+	fire := func(seed int64, codes chan<- int) {
+		defer wg.Done()
+		resp, _ := postJSON(t, ts.URL+"/v1/evaluate", evaluateRequest{
+			Scene: "road", Challenge: "fix", Runs: 1, Seed: seed, Target: int(scene.Car)})
+		codes <- resp.StatusCode
+	}
+	codes := make(chan int, 8)
+	wg.Add(1)
+	go fire(1, codes)
+	<-started // worker is now busy
+
+	// Seven more: one fits the queue slot, the other six must bounce with
+	// 429 immediately (the two accepted requests are parked on release, so
+	// the first six codes can only be rejections).
+	for i := int64(2); i <= 8; i++ {
+		wg.Add(1)
+		go fire(i, codes)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 6; i++ {
+		counts[<-codes]++
+	}
+	if counts[http.StatusTooManyRequests] != 6 {
+		t.Errorf("status counts %v, want 6 rejections with 429", counts)
+	}
+	close(release)
+	wg.Wait()
+	counts[<-codes]++
+	counts[<-codes]++
+	if counts[http.StatusOK] != 2 {
+		t.Errorf("status counts %v, want exactly 2 × 200 (worker + queued slot)", counts)
+	}
+}
+
+// TestDetectEndpoint round-trips one rendered frame and compares against a
+// direct forward pass on a replica.
+func TestDetectEndpoint(t *testing.T) {
+	det := testDetector(t)
+	_, ts := startServer(t, det, Config{Workers: 2})
+
+	scenes := serialScenes()
+	frame, err := scene.DefaultCamera().Render(scenes["road"].Ground)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := detectRequest{
+		Image:  append([]float64(nil), frame.Data()...),
+		Height: frame.Dim(1), Width: frame.Dim(2),
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/detect", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got detectResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	replica := det.Clone()
+	replica.SetTraining(false)
+	batch := frame.Reshape(1, 3, frame.Dim(1), frame.Dim(2))
+	want := toWireDetections(replica.DecodeSample(replica.Forward(batch), 0, yolo.DefaultDecode()))
+	if len(want) == 0 {
+		t.Log("untrained detector produced no detections; endpoint equality still checked")
+	}
+	if !reflect.DeepEqual(got.Detections, want) && !(len(got.Detections) == 0 && len(want) == 0) {
+		t.Errorf("detections differ:\n got %+v\nwant %+v", got.Detections, want)
+	}
+}
+
+// TestBadRequests exercises the validation surface.
+func TestBadRequests(t *testing.T) {
+	det := testDetector(t)
+	_, ts := startServer(t, det, Config{Workers: 1})
+
+	cases := []struct {
+		name string
+		req  evaluateRequest
+	}{
+		{"unknown challenge", evaluateRequest{Scene: "road", Challenge: "warp9", Target: int(scene.Car)}},
+		{"unknown scene", evaluateRequest{Scene: "moon", Challenge: "fix", Target: int(scene.Car)}},
+		{"missing target without patch", evaluateRequest{Scene: "road", Challenge: "fix"}},
+		{"bad base64 patch", evaluateRequest{Scene: "road", Challenge: "fix", Patch: "!!!"}},
+		{"runs out of range", evaluateRequest{Scene: "road", Challenge: "fix", Runs: 999, Target: int(scene.Car)}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/evaluate", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, body)
+		}
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/v1/detect", detectRequest{Image: []float64{1, 2}, Height: 4, Width: 4})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short image: status %d, want 400", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/v1/evaluate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET evaluate: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestJobPanicBecomes500 proves panic recovery keeps the worker alive.
+func TestJobPanicBecomes500(t *testing.T) {
+	det := testDetector(t)
+	calls := 0
+	var mu sync.Mutex
+	_, ts := startServer(t, det, Config{
+		Workers: 1,
+		Job: func(j eval.Job) (eval.Detail, error) {
+			mu.Lock()
+			calls++
+			first := calls == 1
+			mu.Unlock()
+			if first {
+				panic("boom")
+			}
+			return eval.Detail{}, nil
+		},
+	})
+	req := evaluateRequest{Scene: "road", Challenge: "fix", Runs: 1, Seed: 1, Target: int(scene.Car)}
+	resp, body := postJSON(t, ts.URL+"/v1/evaluate", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking job: status %d (%s), want 500", resp.StatusCode, body)
+	}
+	// The same worker must survive and serve the next request.
+	req.Seed = 2
+	resp, body = postJSON(t, ts.URL+"/v1/evaluate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after panic: status %d (%s), want 200", resp.StatusCode, body)
+	}
+}
+
+// TestHealthz checks the liveness endpoint shape.
+func TestHealthz(t *testing.T) {
+	det := testDetector(t)
+	_, ts := startServer(t, det, Config{Workers: 3, QueueSize: 5})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" {
+		t.Errorf("status = %v", h["status"])
+	}
+	if h["workers"] != float64(3) || h["queue_capacity"] != float64(5) {
+		t.Errorf("healthz = %v", h)
+	}
+}
+
+// TestShutdownDrains proves graceful drain: in-flight jobs finish, new
+// submissions are refused with 503.
+func TestShutdownDrains(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	det := testDetector(t)
+	s := New(det, Config{
+		Workers: 1, QueueSize: 4,
+		Job: func(j eval.Job) (eval.Detail, error) {
+			started <- struct{}{}
+			<-release
+			return eval.Detail{}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var inflightCode int
+	var inflightBody []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, body := postJSON(t, ts.URL+"/v1/evaluate", evaluateRequest{
+			Scene: "road", Challenge: "fix", Runs: 1, Seed: 9, Target: int(scene.Car)})
+		inflightCode, inflightBody = resp.StatusCode, body
+	}()
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// Let the drain flag settle, then release the worker.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if inflightCode != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d (%s), want 200", inflightCode, inflightBody)
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/v1/evaluate", evaluateRequest{
+		Scene: "road", Challenge: "fix", Runs: 1, Seed: 10, Target: int(scene.Car)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown request: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestPatchWireRoundTrip sanity-checks the reuse of the attack (de)serializer
+// as the wire format.
+func TestPatchWireRoundTrip(t *testing.T) {
+	p := testPatch(t)
+	raw, err := attack.EncodePatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := attack.DecodePatch(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Cfg, q.Cfg) {
+		t.Errorf("config round trip: %+v != %+v", q.Cfg, p.Cfg)
+	}
+	if !reflect.DeepEqual(p.Gray.Data(), q.Gray.Data()) || !reflect.DeepEqual(p.Mask.Data(), q.Mask.Data()) {
+		t.Error("patch tensors corrupted on the wire")
+	}
+	if _, err := attack.DecodePatch([]byte("garbage")); err == nil {
+		t.Error("DecodePatch accepted garbage")
+	}
+}

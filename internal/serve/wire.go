@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"fmt"
+	"math"
+
+	"roadtrojan/internal/attack"
+	"roadtrojan/internal/metrics"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/yolo"
+)
+
+// detectRequest is the POST /v1/detect body: one rendered [3,H,W] frame in
+// [0,1], flattened channel-major.
+type detectRequest struct {
+	Image  []float64 `json:"image"`
+	Height int       `json:"height"`
+	Width  int       `json:"width"`
+}
+
+func (r *detectRequest) validate() error {
+	if r.Height <= 0 || r.Width <= 0 {
+		return fmt.Errorf("height and width must be positive, got %dx%d", r.Height, r.Width)
+	}
+	if want := 3 * r.Height * r.Width; len(r.Image) != want {
+		return fmt.Errorf("image has %d values, want 3*%d*%d = %d", len(r.Image), r.Height, r.Width, want)
+	}
+	for i, v := range r.Image {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("image[%d] is not finite", i)
+		}
+	}
+	return nil
+}
+
+// wireBox is a center-format pixel box.
+type wireBox struct {
+	CX float64 `json:"cx"`
+	CY float64 `json:"cy"`
+	W  float64 `json:"w"`
+	H  float64 `json:"h"`
+}
+
+// wireDetection is one decoded detection.
+type wireDetection struct {
+	Class      int     `json:"class"`
+	ClassName  string  `json:"className"`
+	Confidence float64 `json:"confidence"`
+	Box        wireBox `json:"box"`
+}
+
+// detectResponse is the POST /v1/detect reply.
+type detectResponse struct {
+	Detections []wireDetection `json:"detections"`
+}
+
+func toWireDetections(dets []yolo.Detection) []wireDetection {
+	out := make([]wireDetection, len(dets))
+	for i, d := range dets {
+		out[i] = wireDetection{
+			Class:      int(d.Class),
+			ClassName:  d.Class.String(),
+			Confidence: d.Confidence,
+			Box:        wireBox{CX: d.Box.CX, CY: d.Box.CY, W: d.Box.W, H: d.Box.H},
+		}
+	}
+	return out
+}
+
+// evaluateRequest is the POST /v1/evaluate body. Patch is the base64 of
+// attack.EncodePatch output (a SavePatch file image); empty means the
+// no-attack baseline, which then requires Target.
+type evaluateRequest struct {
+	Patch     string `json:"patch,omitempty"`
+	Scene     string `json:"scene"`     // road | sim
+	Challenge string `json:"challenge"` // one of scene.AllChallengeNames
+	Mode      string `json:"mode"`      // physical | digital (default physical)
+	Runs      int    `json:"runs"`      // default 3, like the paper
+	Seed      int64  `json:"seed"`
+	Target    int    `json:"target,omitempty"` // class id 1..5; defaults to the patch's target
+}
+
+// maxRuns bounds the per-request work a single client can queue.
+const maxRuns = 16
+
+// normalize validates the request and decodes the patch payload. It returns
+// the patch (nil for no-attack) and the resolved target class.
+func (r *evaluateRequest) normalize() (*attack.Patch, scene.Class, error) {
+	if r.Scene == "" {
+		r.Scene = "road"
+	}
+	if r.Scene != "road" && r.Scene != "sim" {
+		return nil, 0, fmt.Errorf("unknown scene %q (want road or sim)", r.Scene)
+	}
+	if !validChallenge(r.Challenge) {
+		return nil, 0, fmt.Errorf("unknown challenge %q (want one of %v)", r.Challenge, scene.AllChallengeNames)
+	}
+	if r.Mode == "" {
+		r.Mode = "physical"
+	}
+	if r.Mode != "physical" && r.Mode != "digital" {
+		return nil, 0, fmt.Errorf("unknown mode %q (want physical or digital)", r.Mode)
+	}
+	if r.Runs == 0 {
+		r.Runs = 3
+	}
+	if r.Runs < 0 || r.Runs > maxRuns {
+		return nil, 0, fmt.Errorf("runs %d out of range [1,%d]", r.Runs, maxRuns)
+	}
+	var p *attack.Patch
+	if r.Patch != "" {
+		raw, err := base64.StdEncoding.DecodeString(r.Patch)
+		if err != nil {
+			return nil, 0, fmt.Errorf("patch is not valid base64: %v", err)
+		}
+		p, err = attack.DecodePatch(raw)
+		if err != nil {
+			return nil, 0, fmt.Errorf("patch payload: %v", err)
+		}
+	}
+	target := scene.Class(r.Target)
+	if target == 0 && p != nil {
+		target = p.Cfg.TargetClass
+	}
+	if target < scene.Person || target > scene.Bicycle {
+		return nil, 0, fmt.Errorf("target class %d out of range 1..%d (required when no patch is sent)", r.Target, scene.NumClasses)
+	}
+	return p, target, nil
+}
+
+func validChallenge(name string) bool {
+	for _, n := range scene.AllChallengeNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// cacheKey identifies an evaluation result: patch content hash plus every
+// input that changes the outcome.
+func (r *evaluateRequest) cacheKey() string {
+	sum := sha256.Sum256([]byte(r.Patch))
+	return fmt.Sprintf("%x|%s|%s|%s|%d|%d|%d", sum[:8], r.Scene, r.Challenge, r.Mode, r.Runs, r.Seed, r.Target)
+}
+
+// wireFrame is one frame's verdict.
+type wireFrame struct {
+	Detected   bool    `json:"detected"`
+	Class      int     `json:"class,omitempty"`
+	ClassName  string  `json:"className,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// evaluateResponse is the POST /v1/evaluate reply: the paper's PWC/CWC
+// score plus each run's per-frame results.
+type evaluateResponse struct {
+	PWC        float64       `json:"pwc"`
+	CWC        bool          `json:"cwc"`
+	Frames     int           `json:"frames"`
+	WrongRun   int           `json:"wrongRun"`
+	DetectRate float64       `json:"detectRate"`
+	Runs       [][]wireFrame `json:"runs"`
+	Cached     bool          `json:"cached"`
+}
+
+func toWireFrames(runs [][]metrics.FrameResult) [][]wireFrame {
+	out := make([][]wireFrame, len(runs))
+	for i, run := range runs {
+		out[i] = make([]wireFrame, len(run))
+		for j, f := range run {
+			wf := wireFrame{Detected: f.Detected}
+			if f.Detected {
+				wf.Class = int(f.Class)
+				wf.ClassName = f.Class.String()
+				wf.Confidence = f.Confidence
+			}
+			out[i][j] = wf
+		}
+	}
+	return out
+}
+
+// errorResponse is the JSON error envelope for every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "total requests", Labels{"endpoint": "detect", "code": "200"}).Add(3)
+	r.Counter("requests_total", "total requests", Labels{"code": "429", "endpoint": "evaluate"}).Inc()
+	r.Gauge("queue_depth", "jobs queued", nil).Set(2)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		`requests_total{code="200",endpoint="detect"} 3`,
+		`requests_total{code="429",endpoint="evaluate"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterHandleIsStable(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", "h", nil)
+	b := r.Counter("hits", "h", nil)
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("value = %d, want 1", b.Value())
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", nil, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.6)
+	h.Observe(5) // above every bound: only +Inf
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		"latency_seconds_sum 6.15",
+		"latency_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramLabelsGetLeSpliced(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "l", Labels{"endpoint": "detect"}, []float64{1})
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `lat_bucket{endpoint="detect",le="1"} 1`) {
+		t.Fatalf("bad labeled bucket:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "c", nil).Inc()
+				r.Gauge("g", "g", nil).Add(1)
+				r.Histogram("h", "h", nil, nil).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c", "c", nil).Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+	if v := r.Gauge("g", "g", nil).Value(); v != 8000 {
+		t.Fatalf("gauge = %g, want 8000", v)
+	}
+	if _, _, n := r.Histogram("h", "h", nil, nil).snapshot(); n != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", n)
+	}
+}

@@ -1,0 +1,86 @@
+package yolo
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"roadtrojan/internal/tensor"
+)
+
+// TestCloneConcurrentBitIdentical proves the serving contract: N goroutines
+// running inference on independent clones produce bit-identical outputs to
+// serial runs on the source model. Run with -race this also demonstrates the
+// clones share no mutable state.
+func TestCloneConcurrentBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(rng, DefaultConfig())
+	m.SetTraining(false)
+
+	const n = 8
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = tensor.NewRandN(rng, 0.5, 1, 3, 64, 64)
+	}
+
+	// Serial reference on the source model.
+	wantCoarse := make([][]float64, n)
+	wantFine := make([][]float64, n)
+	for i, x := range inputs {
+		h := m.Forward(x)
+		wantCoarse[i] = append([]float64(nil), h.Coarse.Data()...)
+		wantFine[i] = append([]float64(nil), h.Fine.Data()...)
+	}
+
+	gotCoarse := make([][]float64, n)
+	gotFine := make([][]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := m.Clone()
+			h := c.Forward(inputs[i])
+			gotCoarse[i] = append([]float64(nil), h.Coarse.Data()...)
+			gotFine[i] = append([]float64(nil), h.Fine.Data()...)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		for j, v := range wantCoarse[i] {
+			if gotCoarse[i][j] != v {
+				t.Fatalf("input %d: coarse[%d] = %g on clone, want %g", i, j, gotCoarse[i][j], v)
+			}
+		}
+		for j, v := range wantFine[i] {
+			if gotFine[i][j] != v {
+				t.Fatalf("input %d: fine[%d] = %g on clone, want %g", i, j, gotFine[i][j], v)
+			}
+		}
+	}
+}
+
+// TestCloneIsolation checks a clone's parameters are fresh storage: writing
+// to the clone leaves the source model's outputs untouched.
+func TestCloneIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := New(rng, DefaultConfig())
+	m.SetTraining(false)
+	x := tensor.NewRandN(rng, 0.5, 1, 3, 64, 64)
+
+	before := append([]float64(nil), m.Forward(x).Coarse.Data()...)
+
+	c := m.Clone()
+	for _, p := range c.Params() {
+		p.Value.Fill(0)
+	}
+	c.Forward(x)
+
+	after := m.Forward(x).Coarse.Data()
+	for i, v := range before {
+		if after[i] != v {
+			t.Fatalf("source output changed at %d after mutating clone: %g != %g", i, after[i], v)
+		}
+	}
+}

@@ -108,6 +108,10 @@ func (cb *convBlock) params() []*nn.Param {
 	return append(ps, cb.bn.Params()...)
 }
 
+func (cb *convBlock) clone() *convBlock {
+	return &convBlock{conv: cb.conv.Clone(), bn: cb.bn.Clone(), act: cb.act.Clone()}
+}
+
 // New builds a randomly initialized detector.
 func New(rng *rand.Rand, cfg Config) *Model {
 	w := cfg.Width
@@ -141,6 +145,28 @@ func New(rng *rand.Rand, cfg Config) *Model {
 	m.h2conv = nn.NewConv2D(rng, "h2", ch(64), headCh, 1, 1, 0, true)
 	m.lastRouteACh = ch(64)
 	return m
+}
+
+// Clone returns a deep replica of the detector sharing no mutable state
+// with m: every layer's parameters, batch-norm running statistics, and mode
+// flags are copied into fresh storage, and forward caches start empty.
+// Because nn modules cache activations in place during Forward (they are not
+// reentrant — see the internal/nn package comment), concurrent inference
+// must give each goroutine its own replica; Clone is how the serving worker
+// pool builds them.
+func (m *Model) Clone() *Model {
+	c := &Model{Cfg: m.Cfg, lastRouteACh: m.lastRouteACh}
+	c.b1, c.b2, c.b3 = m.b1.clone(), m.b2.clone(), m.b3.clone()
+	c.b4, c.b5, c.b6 = m.b4.clone(), m.b5.clone(), m.b6.clone()
+	c.p1, c.p2 = m.p1.Clone(), m.p2.Clone()
+	c.p3, c.p4, c.p5 = m.p3.Clone(), m.p4.Clone(), m.p5.Clone()
+	c.neck, c.h1pre = m.neck.clone(), m.h1pre.clone()
+	c.h1conv = m.h1conv.Clone()
+	c.lat = m.lat.clone()
+	c.up = m.up.Clone()
+	c.h2pre = m.h2pre.clone()
+	c.h2conv = m.h2conv.Clone()
+	return c
 }
 
 // Heads bundles the raw outputs of the two detection heads:

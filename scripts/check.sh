@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, vet, race-enabled tests.
+# Run from anywhere; operates on the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== checks passed"
