@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the tier-1 verify path:
-# build + vet + race-enabled tests (scripts/check.sh).
+# gofmt + build + vet + rtlint + race-enabled tests (scripts/check.sh).
 
-.PHONY: check build vet test race bench serve
+.PHONY: check build vet lint test race bench serve
 
 check:
 	./scripts/check.sh
@@ -11,6 +11,11 @@ build:
 
 vet:
 	go vet ./...
+
+# Repo-specific invariants (determinism, reentrancy, numeric safety).
+# See DESIGN.md "Correctness invariants" for what each check enforces.
+lint:
+	go run ./cmd/rtlint ./...
 
 test:
 	go test ./...

@@ -1,0 +1,158 @@
+// Command rtlint runs the repository's invariant checks (internal/analysis)
+// over every package in the module:
+//
+//	go run ./cmd/rtlint ./...
+//
+// It loads and type-checks the module with only the standard library, runs
+// the sharedforward, globalrand, floateq, panicpolicy and gradcoverage
+// checks, subtracts the committed baseline (rtlint.baseline, if present),
+// and exits non-zero when any new finding remains. Per-line suppressions
+// use `//rtlint:ignore <check> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"roadtrojan/internal/analysis"
+)
+
+func main() {
+	var (
+		baselinePath  = flag.String("baseline", "rtlint.baseline", "baseline file of grandfathered findings (relative to the module root; missing file = empty)")
+		writeBaseline = flag.Bool("write-baseline", false, "rewrite the baseline file from the current findings and exit 0")
+		checkList     = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list          = flag.Bool("list", false, "list the registered checks and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtlint [flags] [./...]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	checks := analysis.AllChecks()
+	if *list {
+		for _, c := range checks {
+			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+	if *checkList != "" {
+		byName := map[string]analysis.Check{}
+		for _, c := range checks {
+			byName[c.Name] = c
+		}
+		checks = checks[:0]
+		for _, name := range strings.Split(*checkList, ",") {
+			c, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("unknown check %q (try -list)", name)
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs = filterPatterns(pkgs, loader.Module(), flag.Args())
+
+	cfg := analysis.DefaultConfig(loader.Module())
+	findings := analysis.Run(cfg, pkgs, checks)
+
+	blPath := *baselinePath
+	if !filepath.IsAbs(blPath) {
+		blPath = filepath.Join(root, blPath)
+	}
+	if *writeBaseline {
+		if err := analysis.WriteBaseline(blPath, findings, root); err != nil {
+			fatalf("writing baseline: %v", err)
+		}
+		fmt.Printf("rtlint: wrote %d finding(s) to %s\n", len(findings), blPath)
+		return
+	}
+	baseline, err := analysis.LoadBaseline(blPath)
+	if err != nil {
+		fatalf("loading baseline: %v", err)
+	}
+	fresh := baseline.Filter(findings, root)
+	for _, f := range fresh {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			rel = f.Pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+	}
+	if n := len(fresh); n > 0 {
+		fmt.Fprintf(os.Stderr, "rtlint: %d finding(s) not covered by the baseline\n", n)
+		os.Exit(1)
+	}
+}
+
+// filterPatterns keeps packages matching the command-line patterns. The
+// forms understood are "./..." / "all" (everything), "./dir/..." (subtree)
+// and "./dir" or an import path (exact). No patterns means everything.
+func filterPatterns(pkgs []*analysis.Pkg, module string, patterns []string) []*analysis.Pkg {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	keep := func(p *analysis.Pkg) bool {
+		for _, pat := range patterns {
+			if pat == "./..." || pat == "..." || pat == "all" {
+				return true
+			}
+			pat = strings.TrimPrefix(pat, "./")
+			if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+				if p.Path == module+"/"+sub || strings.HasPrefix(p.Path, module+"/"+sub+"/") {
+					return true
+				}
+				continue
+			}
+			if p.Path == pat || p.Path == module+"/"+pat || (pat == "." && p.Path == module) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*analysis.Pkg
+	for _, p := range pkgs {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("rtlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rtlint: "+format+"\n", args...)
+	os.Exit(1)
+}

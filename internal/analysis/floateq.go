@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEqCheck flags == and != between two non-constant float operands.
+// Accumulated rounding error makes exact float equality a latent bug in
+// numeric code; comparisons must go through an epsilon helper
+// (math.Abs(a-b) <= eps). Comparing against a compile-time constant stays
+// legal — guards like `v == 0` or `cx == sentinel` test for exact
+// documented sentinel values that were stored, not computed. Functions
+// named in Config.FloatEqApproved (the epsilon helpers themselves) are
+// exempt wholesale. Test files are exempt: exact equality in a test is
+// usually the point (bit-identical clone/determinism assertions).
+func floatEqCheck() Check {
+	return Check{
+		Name: "floateq",
+		Doc:  "no ==/!= on computed float operands outside approved epsilon helpers and constant sentinel guards",
+		Run:  runFloatEq,
+	}
+}
+
+func runFloatEq(cfg *Config, p *Pkg) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		approved := approvedRanges(cfg, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xf, xconst := floatOperand(p, be.X)
+			yf, yconst := floatOperand(p, be.Y)
+			if !xf || !yf || xconst || yconst {
+				return true
+			}
+			for _, r := range approved {
+				if be.Pos() >= r[0] && be.Pos() < r[1] {
+					return true
+				}
+			}
+			out = append(out, finding(p, be.OpPos, "floateq",
+				"float %s comparison on computed values; use an epsilon helper (math.Abs(a-b) <= eps) or compare against a documented constant sentinel",
+				be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+// floatOperand reports whether e has float type and whether it is a
+// compile-time constant.
+func floatOperand(p *Pkg, e ast.Expr) (isFloat, isConst bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false, false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0, tv.Value != nil
+}
+
+// approvedRanges returns the source ranges of functions the config approves
+// for raw float equality.
+func approvedRanges(cfg *Config, file *ast.File) [][2]token.Pos {
+	if len(cfg.FloatEqApproved) == 0 {
+		return nil
+	}
+	var out [][2]token.Pos
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if ok && fd.Body != nil && cfg.FloatEqApproved[fd.Name.Name] {
+			out = append(out, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+		}
+	}
+	return out
+}

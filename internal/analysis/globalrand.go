@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandCheck bans the package-global math/rand functions and
+// wall-clock reads in deterministic packages: PWC/CWC numbers must be
+// bit-reproducible from a seed, so every random draw has to flow through an
+// explicitly threaded *rand.Rand. The rand.New / rand.NewSource
+// constructors remain legal (they are how seeded generators are built), as
+// does the rand.Rand type itself. time.Now/Since/Until are banned in
+// library files but tolerated in tests, where they only feed timeouts.
+func globalRandCheck() Check {
+	return Check{
+		Name: "globalrand",
+		Doc:  "no package-global rand.* or time.Now in deterministic packages; thread a seeded *rand.Rand",
+		Run:  runGlobalRand,
+	}
+}
+
+// randConstructors are the math/rand functions that build seeded
+// generators rather than draw from the global one.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func runGlobalRand(cfg *Config, p *Pkg) []Finding {
+	if !cfg.DeterministicPkgs[p.Name] || cfg.RandAllowlist[p.Name] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		isTest := p.IsTestFile(file.Pos())
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if _, isType := p.Info.Uses[sel.Sel].(*types.TypeName); isType {
+					return true
+				}
+				if randConstructors[sel.Sel.Name] {
+					return true
+				}
+				out = append(out, finding(p, sel.Pos(), "globalrand",
+					"package-global rand.%s in deterministic package %q; draw from a seeded *rand.Rand threaded through the call instead",
+					sel.Sel.Name, p.Name))
+			case "time":
+				if isTest {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Now", "Since", "Until":
+					out = append(out, finding(p, sel.Pos(), "globalrand",
+						"time.%s in deterministic package %q; wall-clock reads break seed-reproducibility",
+						sel.Sel.Name, p.Name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// gradCoverageCheck requires every concrete type with Forward and Backward
+// methods (the repo's structural notion of a differentiable layer) to be
+// referenced from a gradient-check test in its own package — a test or
+// helper whose name matches Config.GradCheckNameRE. A hand-written backward
+// pass that no finite-difference test exercises is exactly where silent
+// gradient bugs live; this check makes "add a layer" imply "add its grad
+// check". Coverage counts any use inside a matching function: the type
+// name itself, a variable of the type, or a call to a constructor/method
+// returning or receiving it.
+func gradCoverageCheck() Check {
+	return Check{
+		Name: "gradcoverage",
+		Doc:  "every Forward/Backward type must be referenced from a gradient-check test in its package",
+		Run:  runGradCoverage,
+	}
+}
+
+func runGradCoverage(cfg *Config, p *Pkg) []Finding {
+	// Candidate layer types declared in library (non-test) files.
+	var cands []*types.TypeName
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		if p.IsTestFile(tn.Pos()) {
+			continue
+		}
+		if !hasForwardBackward(named) {
+			continue
+		}
+		cands = append(cands, tn)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	inSet := map[*types.TypeName]bool{}
+	for _, tn := range cands {
+		inSet[tn] = true
+	}
+
+	covered := map[*types.TypeName]bool{}
+	markType := func(t types.Type) {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if tn := named.Obj(); inSet[tn] {
+				covered[tn] = true
+			}
+		}
+	}
+	for _, file := range p.Files {
+		if !p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !cfg.GradCheckNameRE.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch obj := p.Info.Uses[id].(type) {
+				case *types.TypeName:
+					if inSet[obj] {
+						covered[obj] = true
+					}
+				case *types.Func:
+					sig, ok := obj.Type().(*types.Signature)
+					if !ok {
+						return true
+					}
+					if recv := sig.Recv(); recv != nil {
+						markType(recv.Type())
+					}
+					for i := 0; i < sig.Results().Len(); i++ {
+						markType(sig.Results().At(i).Type())
+					}
+				case *types.Var:
+					markType(obj.Type())
+				}
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	for _, tn := range cands {
+		if !covered[tn] {
+			out = append(out, finding(p, tn.Pos(), "gradcoverage",
+				"type %s has Forward/Backward but no gradient-check test (function matching %q) in package %q references it",
+				tn.Name(), cfg.GradCheckNameRE.String(), p.Name))
+		}
+	}
+	return out
+}

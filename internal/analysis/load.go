@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks every package of a module using only the standard
+// library: module-internal imports resolve by directory layout, everything
+// else goes through the source importer. Two passes are made per package —
+// a plain pass (no test files) that populates the import graph, and an
+// analysis pass that re-checks the package together with its in-package
+// _test.go files.
+type Loader struct {
+	Fset   *token.FileSet
+	root   string // absolute module root (directory containing go.mod)
+	module string // module path from go.mod
+	std    types.Importer
+	cache  map[string]*loadResult // plain packages by import path
+	parsed map[string]*parsedDir  // parse results by directory
+}
+
+type loadResult struct {
+	pkg *types.Package
+	err error
+}
+
+// NewLoader builds a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		root:   abs,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  map[string]*loadResult{},
+		parsed: map[string]*parsedDir{},
+	}, nil
+}
+
+// Root returns the absolute module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// Module returns the module import path.
+func (l *Loader) Module() string { return l.module }
+
+// Import resolves an import path for the type checker: module-internal
+// paths load (and cache) the package from its source directory without test
+// files; all other paths defer to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		r, cached := l.cache[path]
+		if !cached {
+			r = &loadResult{}
+			l.cache[path] = r // pre-register: an import cycle fails below instead of recursing
+			r.pkg, r.err = l.typeCheck(dir, path, false, nil)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return r.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.module {
+		return l.root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.module+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// LoadAll walks the module tree and returns an analysis Pkg (test files
+// included) for every Go package found.
+func (l *Loader) LoadAll() ([]*Pkg, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "out") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Pkg
+	var errs []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.module
+		if rel != "." {
+			path = l.module + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.LoadDir(dir, path)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(errs) > 0 {
+		return pkgs, fmt.Errorf("analysis: %d package(s) failed to load:\n%s", len(errs), strings.Join(errs, "\n"))
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks the package in dir together with its in-package test
+// files and returns it ready for analysis. External test packages
+// (package foo_test) are skipped — the repo has none, and they cannot share
+// a type-checking pass with the package under test.
+func (l *Loader) LoadDir(dir, path string) (*Pkg, error) {
+	plain, test, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(plain) == 0 && len(test) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	base := ""
+	if len(plain) > 0 {
+		base = plain[0].Name.Name
+	} else {
+		base = strings.TrimSuffix(test[0].Name.Name, "_test")
+	}
+	files := append([]*ast.File{}, plain...)
+	for _, f := range test {
+		if f.Name.Name == base {
+			files = append(files, f)
+		}
+	}
+	info := newInfo()
+	tpkg, err := l.typeCheck(dir, path, true, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Pkg{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// typeCheck parses and checks the package in dir. withTests selects whether
+// in-package _test.go files participate; info, when non-nil, receives the
+// type-checking facts. Parsed files are cached per (dir, test-ness) via the
+// shared FileSet, so the plain and analysis passes re-parse at most once.
+func (l *Loader) typeCheck(dir, path string, withTests bool, info *types.Info) (*types.Package, error) {
+	plain, test, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := append([]*ast.File{}, plain...)
+	if withTests {
+		base := ""
+		if len(plain) > 0 {
+			base = plain[0].Name.Name
+		}
+		for _, f := range test {
+			if base == "" || f.Name.Name == base {
+				files = append(files, f)
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files for %q in %s", path, dir)
+	}
+	var errs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if len(errs) < 20 {
+				errs = append(errs, err.Error())
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s:\n  %s", path, strings.Join(errs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: checking %s: %w", path, err)
+	}
+	return tpkg, nil
+}
+
+// parsedDir caches parse results so the plain and with-tests passes share
+// ASTs (identity matters: Pkg.Files positions must match Info facts).
+type parsedDir struct {
+	plain, test []*ast.File
+}
+
+func (l *Loader) parseDir(dir string) (plain, test []*ast.File, err error) {
+	if pd, ok := l.parsed[dir]; ok {
+		return pd.plain, pd.test, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	pd := &parsedDir{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pd.test = append(pd.test, f)
+		} else {
+			pd.plain = append(pd.plain, f)
+		}
+	}
+	l.parsed[dir] = pd
+	return pd.plain, pd.test, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") &&
+			!strings.HasPrefix(e.Name(), ".") && !strings.HasPrefix(e.Name(), "_") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// panicPolicyCheck enforces the repository's panic discipline in library
+// packages: panics are reserved for shape/invariant violations and must
+// carry a constant message prefixed with the package name ("tensor: ..."),
+// so a production stack trace names the failing subsystem without symbol
+// archaeology. A panic argument qualifies when it is
+//
+//   - a constant string with the "<pkg>: " prefix,
+//   - fmt.Sprintf/fmt.Errorf whose format literal carries the prefix, or
+//   - a "+" concatenation whose leftmost operand is a prefixed literal.
+//
+// Test files are exempt; so are bare re-panics (panic(r) inside a recover
+// handler is a different idiom and is left to code review).
+func panicPolicyCheck() Check {
+	return Check{
+		Name: "panicpolicy",
+		Doc:  `library panics must carry a constant "<pkg>: "-prefixed message`,
+		Run:  runPanicPolicy,
+	}
+}
+
+func runPanicPolicy(cfg *Config, p *Pkg) []Finding {
+	if cfg.PanicScope != nil && !cfg.PanicScope(p) {
+		return nil
+	}
+	prefix := p.Name + ": "
+	var out []Finding
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			if f, bad := checkPanicArg(p, call.Args[0], prefix); bad {
+				out = append(out, f)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkPanicArg(p *Pkg, arg ast.Expr, prefix string) (Finding, bool) {
+	if msg, ok := constString(p, arg); ok {
+		return panicPrefixFinding(p, arg, msg, prefix)
+	}
+	switch a := arg.(type) {
+	case *ast.CallExpr:
+		if sel, ok := a.Fun.(*ast.SelectorExpr); ok {
+			fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(fn.Name() == "Sprintf" || fn.Name() == "Errorf") && len(a.Args) > 0 {
+				if format, ok := constString(p, a.Args[0]); ok {
+					return panicPrefixFinding(p, a.Args[0], format, prefix)
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		// Leftmost operand of a "+" chain decides the prefix.
+		left := ast.Expr(a)
+		for {
+			be, ok := left.(*ast.BinaryExpr)
+			if !ok {
+				break
+			}
+			left = be.X
+		}
+		if msg, ok := constString(p, left); ok {
+			return panicPrefixFinding(p, left, msg, prefix)
+		}
+	}
+	return finding(p, arg.Pos(), "panicpolicy",
+		"panic argument is not a constant message; invariant panics must carry a %q-prefixed constant string (optionally via fmt.Sprintf or +)",
+		prefix), true
+}
+
+func panicPrefixFinding(p *Pkg, at ast.Expr, msg, prefix string) (Finding, bool) {
+	if strings.HasPrefix(msg, prefix) {
+		return Finding{}, false
+	}
+	return finding(p, at.Pos(), "panicpolicy",
+		"panic message %q lacks the %q package prefix", msg, prefix), true
+}
+
+func constString(p *Pkg, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

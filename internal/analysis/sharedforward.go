@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// sharedForwardCheck flags Forward/Backward calls, inside a `go` closure, on
+// a module value captured from the enclosing scope. Modules cache forward
+// activations in place (see internal/nn's package comment), so a shared
+// module raced from several goroutines silently corrupts results — the
+// exact bug class the serve worker pool's per-worker clones exist to
+// prevent. A captured variable whose initializer is itself a Clone-style
+// call (det := m.Clone(); go func() { det.Forward(x) }()) is exempt: the
+// goroutine owns a private replica.
+func sharedForwardCheck() Check {
+	return Check{
+		Name: "sharedforward",
+		Doc:  "no Forward/Backward on a module captured by a go closure without an intervening Clone",
+		Run:  runSharedForward,
+	}
+}
+
+func runSharedForward(cfg *Config, p *Pkg) []Finding {
+	clonedInit := cloneInitialized(p)
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Forward" && sel.Sel.Name != "Backward") {
+					return true
+				}
+				base := baseIdent(sel.X)
+				if base == nil {
+					return true
+				}
+				obj, ok := p.Info.Uses[base].(*types.Var)
+				if !ok || obj.Pos() == 0 {
+					return true
+				}
+				if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+					return true // declared inside the closure: goroutine-private
+				}
+				tv, ok := p.Info.Types[sel.X]
+				if !ok || !hasForwardBackward(tv.Type) {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id == base && clonedInit[obj] {
+					return true // receiver is a clone made for this goroutine
+				}
+				out = append(out, finding(p, sel.Sel.Pos(), "sharedforward",
+					"%s called on %q captured by a go closure; modules are not reentrant — give the goroutine its own replica (nn.Cloner / MustCloneModule) first",
+					sel.Sel.Name, base.Name))
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// baseIdent walks a selector chain (s.det.head -> s) down to its root
+// identifier, or nil for non-identifier receivers.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// cloneInitialized maps variables whose initializer is a call with "Clone"
+// in the callee name (Clone, CloneModule, MustCloneModule, ...): such a
+// variable holds a private replica, so handing it to one goroutine is safe.
+func cloneInitialized(p *Pkg) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		v, ok := p.Info.Defs[id].(*types.Var)
+		if !ok {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.Contains(name, "Clone") {
+			out[v] = true
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i, lhs := range st.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							mark(id, st.Rhs[i])
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) == len(st.Values) {
+					for i, id := range st.Names {
+						mark(id, st.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+// Package floateq exercises the float-equality check.
+package floateq
+
+// sentinel is a documented placeholder value stored (not computed) by the
+// caller.
+const sentinel = -100.0
+
+// Equal compares computed floats exactly: flagged.
+func Equal(a, b float64) bool {
+	return a == b // want "floateq"
+}
+
+// NotEqual is the != twin: flagged.
+func NotEqual(a, b float64) bool {
+	return a != b // want "floateq"
+}
+
+// Narrow also applies to float32 operands: flagged.
+func Narrow(a, b float32) bool {
+	return a == b // want "floateq"
+}
+
+// ZeroGuard compares against a constant: legal sentinel guard.
+func ZeroGuard(a float64) bool { return a == 0 }
+
+// ConstGuard compares against a named constant: legal.
+func ConstGuard(a float64) bool { return a != sentinel }
+
+// Ints never trigger the check.
+func Ints(a, b int) bool { return a == b }
+
+// almostEqual is the approved epsilon helper (Config.FloatEqApproved); its
+// own exact comparison is the fast path and stays legal.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return diff(a, b) < 1e-9
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Suppressed documents a deliberate exact comparison via the suppression
+// syntax.
+func Suppressed(a, b float64) bool {
+	return a == b //rtlint:ignore floateq corpus exercises the suppression syntax
+}

@@ -1,0 +1,18 @@
+// Package serve exercises the globalrand allowlist: operational packages
+// (serve, telemetry) own wall-clock and jitter concerns and are exempt.
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the global generator; fine here.
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(10)) * time.Millisecond
+}
+
+// Uptime reads the wall clock; also fine here.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

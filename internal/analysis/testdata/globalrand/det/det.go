@@ -1,0 +1,36 @@
+// Package eval exercises globalrand inside a deterministic package (the
+// package name is on the deterministic list).
+package eval
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Draw uses the banned package-global generator.
+func Draw() float64 {
+	return rand.Float64() // want "globalrand"
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "globalrand"
+}
+
+// Age measures from the wall clock.
+func Age(start time.Time) time.Duration {
+	return time.Since(start) // want "globalrand"
+}
+
+// Seeded threads an explicit generator: the sanctioned pattern.
+func Seeded(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// Build constructs a seeded generator; rand.New / rand.NewSource stay legal.
+func Build(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Hold references the rand.Rand type itself, which is legal.
+type Hold struct{ rng *rand.Rand }

@@ -1,0 +1,30 @@
+// Package gradcov exercises gradient-check coverage: every type with
+// Forward and Backward must be referenced from a gradient-check test.
+package gradcov
+
+// Covered has a gradient-check test referencing it (via NewCovered).
+type Covered struct{ cache float64 }
+
+// NewCovered builds a Covered layer.
+func NewCovered() *Covered { return &Covered{} }
+
+// Forward caches the input.
+func (c *Covered) Forward(x float64) float64 { c.cache = x; return x * x }
+
+// Backward uses the cache.
+func (c *Covered) Backward(d float64) float64 { return 2 * c.cache * d }
+
+// Uncovered has Forward/Backward but no gradient-check test references it.
+type Uncovered struct{ cache float64 } // want "gradcoverage"
+
+// Forward caches the input.
+func (u *Uncovered) Forward(x float64) float64 { u.cache = x; return x + 1 }
+
+// Backward passes the gradient through.
+func (u *Uncovered) Backward(d float64) float64 { return d }
+
+// Plain has no Backward, so it is not a layer and needs no check.
+type Plain struct{}
+
+// Forward alone does not make a layer.
+func (p *Plain) Forward(x float64) float64 { return x }

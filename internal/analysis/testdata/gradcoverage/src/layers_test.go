@@ -1,0 +1,13 @@
+package gradcov
+
+import "testing"
+
+// TestCoveredGradCheck references Covered (through its constructor), so
+// only Uncovered should be flagged.
+func TestCoveredGradCheck(t *testing.T) {
+	c := NewCovered()
+	out := c.Forward(3)
+	if g := c.Backward(1); g < 5.9 || g > 6.1 || out < 8.9 || out > 9.1 {
+		t.Fatalf("grad %v out %v", g, out)
+	}
+}

@@ -1,0 +1,8 @@
+// Package ignore exercises the suppression-directive syntax itself: a
+// directive without both a check name and a reason is reported.
+package ignore
+
+//rtlint:ignore floateq
+func noop() {}
+
+var _ = noop

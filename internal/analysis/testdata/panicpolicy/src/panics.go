@@ -1,0 +1,44 @@
+// Package tensor exercises the panic-message policy: library panics must
+// carry a constant message prefixed with the package name.
+package tensor
+
+import "fmt"
+
+// BadBare panics without the package prefix.
+func BadBare(n int) {
+	if n < 0 {
+		panic("negative dimension") // want "panicpolicy"
+	}
+}
+
+// BadDynamic panics with a non-constant value.
+func BadDynamic(err error) {
+	panic(err) // want "panicpolicy"
+}
+
+// BadSprintf formats a message that lacks the prefix.
+func BadSprintf(n int) {
+	panic(fmt.Sprintf("bad shape %d", n)) // want "panicpolicy"
+}
+
+// BadConcat concatenates onto an unprefixed literal.
+func BadConcat(msg string) {
+	panic("got: " + msg) // want "panicpolicy"
+}
+
+// GoodConst carries the canonical prefix.
+func GoodConst(n int) {
+	if n < 0 {
+		panic("tensor: negative dimension")
+	}
+}
+
+// GoodSprintf formats a prefixed message.
+func GoodSprintf(n int) {
+	panic(fmt.Sprintf("tensor: negative dimension %d", n))
+}
+
+// GoodConcat builds on a prefixed literal.
+func GoodConcat(msg string) {
+	panic("tensor: " + msg)
+}

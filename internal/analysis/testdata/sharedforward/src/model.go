@@ -1,0 +1,55 @@
+// Package sharedforward exercises the sharedforward check: Forward and
+// Backward must not run on a module captured by a go closure, because
+// modules cache forward activations in place.
+package sharedforward
+
+// Model is a minimal stand-in for an nn.Module: it caches forward state.
+type Model struct{ last []float64 }
+
+// Forward caches its input, like every real module.
+func (m *Model) Forward(x []float64) []float64 { m.last = x; return x }
+
+// Backward consumes the cached state.
+func (m *Model) Backward(d []float64) []float64 { return append(d, m.last...) }
+
+// Clone returns a private replica.
+func (m *Model) Clone() *Model { return &Model{} }
+
+// Server shares a module through a struct field.
+type Server struct{ det *Model }
+
+// Shared races the captured model across goroutines.
+func Shared(m *Model, in []float64, done chan []float64) {
+	go func() {
+		out := m.Forward(in)    // want "sharedforward"
+		done <- m.Backward(out) // want "sharedforward"
+	}()
+}
+
+// SharedField reaches the module through a captured struct.
+func SharedField(s *Server, in []float64, done chan []float64) {
+	go func() {
+		done <- s.det.Forward(in) // want "sharedforward"
+	}()
+}
+
+// CloneInside gives the goroutine its own replica: compliant.
+func CloneInside(m *Model, in []float64, done chan []float64) {
+	go func() {
+		c := m.Clone()
+		done <- c.Forward(in)
+	}()
+}
+
+// CloneOutside hands a pre-cloned replica to a single goroutine: compliant.
+func CloneOutside(m *Model, in []float64, done chan []float64) {
+	replica := m.Clone()
+	go func() {
+		done <- replica.Forward(in)
+	}()
+}
+
+// Sequential use outside any goroutine is compliant.
+func Sequential(m *Model, in []float64) []float64 {
+	return m.Backward(m.Forward(in))
+}

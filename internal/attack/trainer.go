@@ -182,6 +182,8 @@ func forwardFrames(det *yolo.Model, g *scene.Ground, decaled *tensor.Tensor, win
 			dTex.AddInPlace(dt)
 		}
 	}
+	tensor.AssertFiniteScalar("attack loss", loss)
+	tensor.AssertFinite("texture gradient", dTex)
 	return loss, dTex, prob, nil
 }
 
@@ -319,6 +321,7 @@ func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writ
 		lossG, dFake := gan.GeneratorAdversarialGrad(d, patch4)
 		nn.ZeroGrads(d.Params()) // adversarial grad must not move D
 		dPatch := dFake.Reshape(1, r, r).Clone().AddInPlace(dRaw)
+		tensor.AssertFinite("patch gradient", dPatch)
 
 		nn.ZeroGrads(g.Params())
 		g.Backward(dPatch.Reshape(1, 1, r, r))
@@ -394,6 +397,7 @@ func TrainDirect(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw i
 		}
 		dLayer := gcomp.backward(dTex)
 		dRaw := clamp.Backward(printBwd(maskBwd(dLayer)))
+		tensor.AssertFinite("direct patch gradient", dRaw)
 		param.Grad.Zero()
 		param.Grad.AddInPlace(dRaw)
 		opt.Step()
@@ -483,6 +487,7 @@ func TrainBaseline(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw
 		dLayer := rcomp.backward(dTex)
 		param.Grad.Zero()
 		param.Grad.AddInPlace(clamp.Backward(printBwd(dLayer)))
+		tensor.AssertFinite("baseline patch gradient", param.Grad)
 		opt.Step()
 		param.Value.Clamp(0, 1)
 

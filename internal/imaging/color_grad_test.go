@@ -1,0 +1,89 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadtrojan/internal/tensor"
+)
+
+func TestBrightnessGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := tensor.NewRandU(rng, 0.1, 0.9, 1, 4, 4)
+	br := NewBrightness(1.3)
+	out := br.Forward(x)
+	probe := tensor.NewRandN(rng, 1, out.Shape()...)
+	br.Forward(x)
+	dX := br.Backward(probe)
+	const eps = 1e-6
+	for i := 0; i < x.Len(); i += 2 {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		lp := tensor.Dot(NewBrightness(1.3).Forward(x), probe)
+		x.Data()[i] = orig - eps
+		lm := tensor.Dot(NewBrightness(1.3).Forward(x), probe)
+		x.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dX.Data()[i]) > 1e-5 {
+			t.Fatalf("brightness grad[%d]: analytic %v numeric %v", i, dX.Data()[i], num)
+		}
+	}
+}
+
+func TestClampUnitGradCheck(t *testing.T) {
+	// Interior points only: the clamp is non-differentiable at 0 and 1, and
+	// TestClampUnitGradGating covers the saturated regions.
+	rng := rand.New(rand.NewSource(32))
+	x := tensor.NewRandU(rng, 0.05, 0.95, 1, 4, 4)
+	cl := NewClampUnit()
+	out := cl.Forward(x)
+	probe := tensor.NewRandN(rng, 1, out.Shape()...)
+	cl.Forward(x)
+	dX := cl.Backward(probe)
+	const eps = 1e-6
+	for i := 0; i < x.Len(); i += 2 {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		lp := tensor.Dot(NewClampUnit().Forward(x), probe)
+		x.Data()[i] = orig - eps
+		lm := tensor.Dot(NewClampUnit().Forward(x), probe)
+		x.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dX.Data()[i]) > 1e-5 {
+			t.Fatalf("clamp grad[%d]: analytic %v numeric %v", i, dX.Data()[i], num)
+		}
+	}
+}
+
+func TestCompositeRGBGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	bg := tensor.NewRandU(rng, 0, 1, 3, 4, 4)
+	layer := tensor.NewRandU(rng, 0, 1, 3, 4, 4)
+	mask := tensor.NewRandU(rng, 0, 1, 1, 4, 4)
+	cp := NewCompositeRGB()
+	out := cp.Forward(bg, layer, mask)
+	probe := tensor.NewRandN(rng, 1, out.Shape()...)
+	cp.Forward(bg, layer, mask)
+	dBg, dLayer := cp.Backward(probe)
+	loss := func() float64 {
+		return tensor.Dot(NewCompositeRGB().Forward(bg, layer, mask), probe)
+	}
+	const eps = 1e-6
+	check := func(name string, x, grad *tensor.Tensor) {
+		for i := 0; i < x.Len(); i += 3 {
+			orig := x.Data()[i]
+			x.Data()[i] = orig + eps
+			lp := loss()
+			x.Data()[i] = orig - eps
+			lm := loss()
+			x.Data()[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-grad.Data()[i]) > 1e-5 {
+				t.Fatalf("%s grad[%d]: analytic %v numeric %v", name, i, grad.Data()[i], num)
+			}
+		}
+	}
+	check("bg", bg, dBg)
+	check("layer", layer, dLayer)
+}

@@ -182,6 +182,12 @@ func TestReshapeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReshapeGradCheck(t *testing.T) {
+	r := NewReshape(4, 2, 2)
+	x := tensor.NewRandN(rand.New(rand.NewSource(15)), 1, 3, 16)
+	gradCheck(t, r, x, 1e-6)
+}
+
 func TestBackwardBeforeForwardPanics(t *testing.T) {
 	mods := map[string]Module{
 		"conv":    NewConv2D(rand.New(rand.NewSource(1)), "c", 1, 1, 1, 1, 0, true),

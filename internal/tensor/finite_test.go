@@ -1,0 +1,59 @@
+package tensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestAssertFiniteDisabledByDefault(t *testing.T) {
+	prev := SetCheckFinite(false)
+	defer SetCheckFinite(prev)
+	x := FromSlice([]float64{1, math.NaN(), 3}, 3)
+	AssertFinite("x", x) // must not panic while the gate is off
+	AssertFiniteScalar("s", math.Inf(1))
+}
+
+func TestAssertFiniteEnabled(t *testing.T) {
+	prev := SetCheckFinite(true)
+	defer SetCheckFinite(prev)
+
+	AssertFinite("ok", FromSlice([]float64{1, 2, 3}, 3))
+	AssertFinite("nil", nil)
+	AssertFiniteScalar("ok", 1.5)
+
+	mustPanic(t, "loss[1]", func() {
+		AssertFinite("loss", FromSlice([]float64{1, math.NaN(), 3}, 3))
+	})
+	mustPanic(t, "grad[0]", func() {
+		AssertFinite("grad", FromSlice([]float64{math.Inf(-1)}, 1))
+	})
+	mustPanic(t, "scalar loss", func() {
+		AssertFiniteScalar("scalar loss", math.NaN())
+	})
+}
+
+func TestSetCheckFiniteReturnsPrevious(t *testing.T) {
+	orig := CheckFiniteEnabled()
+	defer SetCheckFinite(orig)
+	if prev := SetCheckFinite(true); prev != orig {
+		t.Fatalf("SetCheckFinite returned %v, want %v", prev, orig)
+	}
+	if !CheckFiniteEnabled() {
+		t.Fatal("gate should be on after SetCheckFinite(true)")
+	}
+}

@@ -1,14 +1,25 @@
 #!/usr/bin/env sh
-# Tier-1 verification: build, vet, race-enabled tests.
+# Tier-1 verification: gofmt, build, vet, rtlint, race-enabled tests.
 # Run from anywhere; operates on the repository root.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build ./..."
 go build ./...
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== rtlint ./..."
+go run ./cmd/rtlint ./...
 
 echo "== go test -race ./..."
 go test -race ./...
