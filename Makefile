@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the tier-1 verify path:
 # gofmt + build + vet + rtlint + race-enabled tests (scripts/check.sh).
 
-.PHONY: check build vet lint test race bench serve
+.PHONY: check build vet lint test race bench bench-tables serve
 
 check:
 	./scripts/check.sh
@@ -23,9 +23,15 @@ test:
 race:
 	go test -race ./...
 
+# Measure the tensor hot path against the preserved reference kernels and
+# refresh the committed perf record (see DESIGN.md "Performance"). Run on a
+# quiet machine; the regression gate compares speedup ratios, not ns/op.
+bench:
+	go run ./cmd/benchperf -runs 5 -out BENCH_tensor.json
+
 # Regenerate the paper tables/figures at reduced budget (needs
 # testdata/detector.rtwt from `go run ./cmd/trainyolo`).
-bench:
+bench-tables:
 	go test -bench . -benchtime 1x -run '^$$' .
 
 # Run the evaluation service locally.

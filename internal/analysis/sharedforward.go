@@ -6,24 +6,36 @@ import (
 	"strings"
 )
 
-// sharedForwardCheck flags Forward/Backward calls, inside a `go` closure, on
-// a module value captured from the enclosing scope. Modules cache forward
-// activations in place (see internal/nn's package comment), so a shared
-// module raced from several goroutines silently corrupts results — the
-// exact bug class the serve worker pool's per-worker clones exist to
-// prevent. A captured variable whose initializer is itself a Clone-style
-// call (det := m.Clone(); go func() { det.Forward(x) }()) is exempt: the
-// goroutine owns a private replica.
+// sharedForwardCheck flags two kinds of cross-goroutine sharing of
+// non-reentrant state inside a `go` closure:
+//
+//   - Forward/Backward on a module value captured from the enclosing scope.
+//     Modules cache forward activations in place (see internal/nn's package
+//     comment), so a shared module raced from several goroutines silently
+//     corrupts results — the exact bug class the serve worker pool's
+//     per-worker clones exist to prevent. A captured variable whose
+//     initializer is itself a Clone-style call (det := m.Clone();
+//     go func() { det.Forward(x) }()) is exempt: the goroutine owns a
+//     private replica.
+//
+//   - Buf/BufZero on a scratch value (structurally: a type with both Buf
+//     and BufZero methods) captured from the enclosing scope. Arena scratch
+//     is per-worker by contract — each goroutine must index its own slot of
+//     an Acquire-style result (ss := ar.Acquire(n); go func(slot) {
+//     ss[slot].Buf(...) }). Captured variables rooted in an Acquire-style
+//     initializer are therefore exempt; a pre-picked slot captured by every
+//     goroutine (sc := ss[0]; go func() { sc.Buf(...) }) is not.
 func sharedForwardCheck() Check {
 	return Check{
 		Name: "sharedforward",
-		Doc:  "no Forward/Backward on a module captured by a go closure without an intervening Clone",
+		Doc:  "no Forward/Backward on a captured module, and no Buf/BufZero on a captured scratch, inside a go closure",
 		Run:  runSharedForward,
 	}
 }
 
 func runSharedForward(cfg *Config, p *Pkg) []Finding {
-	clonedInit := cloneInitialized(p)
+	clonedInit := initializedByCall(p, "Clone")
+	acquireInit := initializedByCall(p, "Acquire")
 	var out []Finding
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -41,7 +53,12 @@ func runSharedForward(cfg *Config, p *Pkg) []Finding {
 					return true
 				}
 				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || (sel.Sel.Name != "Forward" && sel.Sel.Name != "Backward") {
+				if !ok {
+					return true
+				}
+				isModule := sel.Sel.Name == "Forward" || sel.Sel.Name == "Backward"
+				isScratch := sel.Sel.Name == "Buf" || sel.Sel.Name == "BufZero"
+				if !isModule && !isScratch {
 					return true
 				}
 				base := baseIdent(sel.X)
@@ -56,21 +73,58 @@ func runSharedForward(cfg *Config, p *Pkg) []Finding {
 					return true // declared inside the closure: goroutine-private
 				}
 				tv, ok := p.Info.Types[sel.X]
-				if !ok || !hasForwardBackward(tv.Type) {
+				if !ok {
 					return true
 				}
-				if id, ok := sel.X.(*ast.Ident); ok && id == base && clonedInit[obj] {
-					return true // receiver is a clone made for this goroutine
+				if isModule && hasForwardBackward(tv.Type) {
+					if id, ok := sel.X.(*ast.Ident); ok && id == base && clonedInit[obj] {
+						return true // receiver is a clone made for this goroutine
+					}
+					out = append(out, finding(p, sel.Sel.Pos(), "sharedforward",
+						"%s called on %q captured by a go closure; modules are not reentrant — give the goroutine its own replica (nn.Cloner / MustCloneModule) first",
+						sel.Sel.Name, base.Name))
+					return true
 				}
-				out = append(out, finding(p, sel.Sel.Pos(), "sharedforward",
-					"%s called on %q captured by a go closure; modules are not reentrant — give the goroutine its own replica (nn.Cloner / MustCloneModule) first",
-					sel.Sel.Name, base.Name))
+				if isScratch && hasBufBufZero(tv.Type) {
+					if acquireInit[obj] {
+						// Rooted in an Acquire-style result: ss[slot].Buf(...)
+						// with a per-goroutine slot is the blessed pattern.
+						return true
+					}
+					out = append(out, finding(p, sel.Sel.Pos(), "sharedforward",
+						"%s called on scratch %q captured by a go closure; arena scratch is per-worker — acquire one slot per goroutine (Arena.Acquire + ss[slot]) instead of sharing one Scratch",
+						sel.Sel.Name, base.Name))
+				}
 				return true
 			})
 			return true
 		})
 	}
 	return out
+}
+
+// hasBufBufZero reports whether t (or *t) is a concrete named type whose
+// method set contains both Buf and BufZero — the structural signature of a
+// per-worker arena scratch.
+func hasBufBufZero(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || types.IsInterface(named) {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	var buf, bufZero bool
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Buf":
+			buf = true
+		case "BufZero":
+			bufZero = true
+		}
+	}
+	return buf && bufZero
 }
 
 // baseIdent walks a selector chain (s.det.head -> s) down to its root
@@ -92,10 +146,11 @@ func baseIdent(e ast.Expr) *ast.Ident {
 	}
 }
 
-// cloneInitialized maps variables whose initializer is a call with "Clone"
-// in the callee name (Clone, CloneModule, MustCloneModule, ...): such a
-// variable holds a private replica, so handing it to one goroutine is safe.
-func cloneInitialized(p *Pkg) map[*types.Var]bool {
+// initializedByCall maps variables whose initializer is a call with substr
+// in the callee name. With "Clone" (Clone, CloneModule, MustCloneModule, ...)
+// such a variable holds a private module replica; with "Acquire"
+// (Arena.Acquire, AcquireScratch, ...) it holds a per-worker scratch set.
+func initializedByCall(p *Pkg, substr string) map[*types.Var]bool {
 	out := map[*types.Var]bool{}
 	mark := func(id *ast.Ident, rhs ast.Expr) {
 		v, ok := p.Info.Defs[id].(*types.Var)
@@ -113,7 +168,7 @@ func cloneInitialized(p *Pkg) map[*types.Var]bool {
 		case *ast.SelectorExpr:
 			name = fun.Sel.Name
 		}
-		if strings.Contains(name, "Clone") {
+		if strings.Contains(name, substr) {
 			out[v] = true
 		}
 	}

@@ -1,0 +1,72 @@
+package sharedforward
+
+// Scratch is a minimal stand-in for a tensor.Scratch: grow-only buffers
+// owned by exactly one goroutine at a time.
+type Scratch struct{ buf []float64 }
+
+// Buf returns the buffer resized to n elements.
+func (s *Scratch) Buf(id, n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	return s.buf[:n]
+}
+
+// BufZero returns the buffer resized and cleared.
+func (s *Scratch) BufZero(id, n int) []float64 {
+	b := s.Buf(id, n)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// Arena is a stand-in for tensor.Arena.
+type Arena struct{}
+
+// Acquire returns one scratch per worker slot.
+func (a *Arena) Acquire(n int) []*Scratch {
+	out := make([]*Scratch, n)
+	for i := range out {
+		out[i] = &Scratch{}
+	}
+	return out
+}
+
+// SharedScratch captures one pre-picked scratch in every goroutine: every
+// worker hammers the same buffers.
+func SharedScratch(ar *Arena, done chan []float64) {
+	ss := ar.Acquire(4)
+	sc := ss[0]
+	for i := 0; i < 4; i++ {
+		go func() {
+			done <- sc.Buf(0, 16) // want "sharedforward"
+		}()
+	}
+}
+
+// PerSlotScratch indexes the Acquire result by a per-goroutine slot: the
+// blessed pattern, compliant.
+func PerSlotScratch(ar *Arena, done chan []float64) {
+	ss := ar.Acquire(4)
+	for i := 0; i < 4; i++ {
+		go func(slot int) {
+			done <- ss[slot].BufZero(0, 16)
+		}(i)
+	}
+}
+
+// LocalScratch declares the scratch inside the closure: goroutine-private,
+// compliant.
+func LocalScratch(done chan []float64) {
+	go func() {
+		var sc Scratch
+		done <- sc.Buf(0, 16)
+	}()
+}
+
+// SequentialScratch uses a scratch outside any goroutine: compliant.
+func SequentialScratch(ar *Arena) []float64 {
+	ss := ar.Acquire(1)
+	return ss[0].BufZero(0, 16)
+}

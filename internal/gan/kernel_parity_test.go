@@ -1,0 +1,28 @@
+package gan
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadtrojan/internal/tensor"
+)
+
+// TestGeneratorForwardKernelParity runs the full generator stack under the
+// production kernels and the pre-optimization reference kernels and demands
+// bit-identical patches: the attack pipeline's outputs must not shift by a
+// single ULP because of the perf work.
+func TestGeneratorForwardKernelParity(t *testing.T) {
+	defer tensor.SetRefKernels(false)
+	rng := rand.New(rand.NewSource(4))
+	g := NewGenerator(rng)
+	z := SampleZ(rand.New(rand.NewSource(5)), 4)
+
+	tensor.SetRefKernels(false)
+	fast := g.Forward(z)
+	tensor.SetRefKernels(true)
+	ref := g.Forward(z)
+
+	if d := tensor.MaxAbsDiff(fast, ref); d != 0 {
+		t.Fatalf("generator output differs between production and reference kernels: max |Δ| = %g", d)
+	}
+}

@@ -22,11 +22,12 @@ func NewLeakyReLU(slope float64) *LeakyReLU { return &LeakyReLU{Slope: slope} }
 func (l *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.lastInput = x
 	out := tensor.New(x.Shape()...)
+	os := out.Data()
 	for i, v := range x.Data() {
 		if v > 0 {
-			out.Data()[i] = v
+			os[i] = v
 		} else {
-			out.Data()[i] = l.Slope * v
+			os[i] = l.Slope * v
 		}
 	}
 	return out
@@ -36,11 +37,13 @@ func (l *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (l *LeakyReLU) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	mustForwarded(l.lastInput, "LeakyReLU")
 	dIn := tensor.New(dOut.Shape()...)
+	ds := dOut.Data()
+	dis := dIn.Data()
 	for i, v := range l.lastInput.Data() {
 		if v > 0 {
-			dIn.Data()[i] = dOut.Data()[i]
+			dis[i] = ds[i]
 		} else {
-			dIn.Data()[i] = l.Slope * dOut.Data()[i]
+			dis[i] = l.Slope * ds[i]
 		}
 	}
 	return dIn

@@ -54,7 +54,14 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	out := tensor.New(n, c, h, w)
 	b.lastInput = x
-	b.lastXHat = tensor.New(n, c, h, w)
+	// The x̂ cache is only consumed by Backward; in inference mode it is
+	// recomputed there from lastInput instead, saving a full-tensor
+	// allocation and store pass on the serving path.
+	if b.training {
+		b.lastXHat = tensor.New(n, c, h, w)
+	} else {
+		b.lastXHat = nil
+	}
 	b.lastMean = make([]float64, c)
 	b.lastInvSD = make([]float64, c)
 	plane := h * w
@@ -93,10 +100,19 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		bt := b.Beta.Value.Data()[ch]
 		for s := 0; s < n; s++ {
 			base := (s*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				xh := (x.Data()[base+i] - mean) * invSD
-				b.lastXHat.Data()[base+i] = xh
-				out.Data()[base+i] = g*xh + bt
+			xs := x.Data()[base : base+plane]
+			os := out.Data()[base : base+plane]
+			if b.training {
+				xhs := b.lastXHat.Data()[base : base+plane]
+				for i, v := range xs {
+					xh := (v - mean) * invSD
+					xhs[i] = xh
+					os[i] = g*xh + bt
+				}
+			} else {
+				for i, v := range xs {
+					os[i] = g*((v-mean)*invSD) + bt
+				}
 			}
 		}
 	}
@@ -116,13 +132,25 @@ func (b *BatchNorm2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	for ch := 0; ch < c; ch++ {
 		g := b.Gamma.Value.Data()[ch]
 		invSD := b.lastInvSD[ch]
+		mean := b.lastMean[ch]
 		var sumD, sumDXhat float64
 		for s := 0; s < n; s++ {
 			base := (s*c + ch) * plane
-			for i := 0; i < plane; i++ {
-				d := dOut.Data()[base+i]
-				sumD += d
-				sumDXhat += d * b.lastXHat.Data()[base+i]
+			ds := dOut.Data()[base : base+plane]
+			if b.lastXHat != nil {
+				xhs := b.lastXHat.Data()[base : base+plane]
+				for i, d := range ds {
+					sumD += d
+					sumDXhat += d * xhs[i]
+				}
+			} else {
+				// Inference-mode forward skipped the x̂ cache; rebuild each
+				// value from the cached input with the identical expression.
+				xs := b.lastInput.Data()[base : base+plane]
+				for i, d := range ds {
+					sumD += d
+					sumDXhat += d * ((xs[i] - mean) * invSD)
+				}
 			}
 		}
 		b.Beta.Grad.Data()[ch] += sumD
@@ -131,17 +159,20 @@ func (b *BatchNorm2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 		if b.training {
 			for s := 0; s < n; s++ {
 				base := (s*c + ch) * plane
-				for i := 0; i < plane; i++ {
-					d := dOut.Data()[base+i]
-					xh := b.lastXHat.Data()[base+i]
-					dIn.Data()[base+i] = g * invSD / cnt * (cnt*d - sumD - xh*sumDXhat)
+				ds := dOut.Data()[base : base+plane]
+				xhs := b.lastXHat.Data()[base : base+plane]
+				dis := dIn.Data()[base : base+plane]
+				for i, d := range ds {
+					dis[i] = g * invSD / cnt * (cnt*d - sumD - xhs[i]*sumDXhat)
 				}
 			}
 		} else {
 			for s := 0; s < n; s++ {
 				base := (s*c + ch) * plane
-				for i := 0; i < plane; i++ {
-					dIn.Data()[base+i] = g * invSD * dOut.Data()[base+i]
+				ds := dOut.Data()[base : base+plane]
+				dis := dIn.Data()[base : base+plane]
+				for i, d := range ds {
+					dis[i] = g * invSD * d
 				}
 			}
 		}

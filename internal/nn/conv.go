@@ -105,23 +105,31 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.lastInput = x2
 	out := tensor.MatMul(x2, l.Weight.Value)
 	n := out.Dim(0)
+	bias := l.Bias.Value.Data()
+	data := out.Data()
 	for r := 0; r < n; r++ {
-		row := out.Data()[r*l.Out : (r+1)*l.Out]
-		for i := range row {
-			row[i] += l.Bias.Value.Data()[i]
+		row := data[r*l.Out : (r+1)*l.Out]
+		for i, bv := range bias {
+			row[i] += bv
 		}
 	}
 	return out
 }
 
 // Backward accumulates dW = xᵀ dOut, dB = Σ dOut and returns dOut @ Wᵀ.
+// The two transposes go through arena scratch instead of fresh tensors, so
+// repeated backward passes stop allocating once the buffers reach size.
 func (l *Linear) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	mustForwarded(l.lastInput, "Linear")
-	xT := tensor.Transpose2D(l.lastInput)
+	ss := tensor.AcquireScratch(1)
+	sc := ss[0]
+	xT := tensor.Transpose2DInto(sc.Buf(tensor.ScratchA, l.lastInput.Len()), l.lastInput)
 	tensor.MatMulAccum(l.Weight.Grad, xT, dOut)
 	l.Bias.Grad.AddInPlace(tensor.SumAxis0(dOut))
-	wT := tensor.Transpose2D(l.Weight.Value)
-	return tensor.MatMul(dOut, wT)
+	wT := tensor.Transpose2DInto(sc.Buf(tensor.ScratchB, l.Weight.Value.Len()), l.Weight.Value)
+	out := tensor.MatMul(dOut, wT)
+	tensor.ReleaseScratch(ss)
+	return out
 }
 
 // Params returns the layer's parameters.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ConvOut returns the spatial output size of a convolution or pooling with
@@ -28,30 +29,54 @@ func Im2Col(img []float64, c, h, w, kh, kw, stride, pad int, out []float64) {
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
 				dst := out[row*cols : (row+1)*cols]
+				// Valid ox range for this kx: 0 <= ox*stride+off < w. Hoisting
+				// it out of the inner loop turns the body into a straight copy
+				// (stride 1) or an unconditional strided gather — no
+				// per-element boundary test.
+				off := kx - pad
+				lo, hi := 0, ow
+				if off < 0 {
+					lo = (-off + stride - 1) / stride
+					if lo > ow {
+						lo = ow
+					}
+				}
+				if e := (w - off + stride - 1) / stride; e < hi {
+					hi = e
+				}
+				if hi < lo {
+					hi = lo
+				}
 				i := 0
 				for oy := 0; oy < oh; oy++ {
 					sy := oy*stride - pad + ky
 					if sy < 0 || sy >= h {
-						for ox := 0; ox < ow; ox++ {
-							dst[i] = 0
-							i++
-						}
+						zeroFill(dst[i : i+ow])
+						i += ow
 						continue
 					}
 					srow := chImg[sy*w : (sy+1)*w]
-					for ox := 0; ox < ow; ox++ {
-						sx := ox*stride - pad + kx
-						if sx < 0 || sx >= w {
-							dst[i] = 0
-						} else {
-							dst[i] = srow[sx]
+					zeroFill(dst[i : i+lo])
+					if stride == 1 {
+						copy(dst[i+lo:i+hi], srow[lo+off:hi+off])
+					} else {
+						for ox := lo; ox < hi; ox++ {
+							dst[i+ox] = srow[ox*stride+off]
 						}
-						i++
 					}
+					zeroFill(dst[i+hi : i+ow])
+					i += ow
 				}
 				row++
 			}
 		}
+	}
+}
+
+// zeroFill clears s; the compiler lowers this loop to memclr.
+func zeroFill(s []float64) {
+	for i := range s {
+		s[i] = 0
 	}
 }
 
@@ -94,8 +119,13 @@ func Col2Im(cols []float64, c, h, w, kh, kw, stride, pad int, img []float64) {
 
 // Conv2D computes a batched 2-D cross-correlation. Input is [N,C,H,W],
 // weight is [OC,C,KH,KW], bias (optional, may be nil) is [OC]. The result is
-// [N,OC,OH,OW]. Samples are processed in parallel.
+// [N,OC,OH,OW]. Samples are processed in parallel; im2col scratch comes
+// from the per-worker arena, so steady-state calls allocate only the output
+// tensor.
 func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
+	if refKernels {
+		return conv2DRef(input, weight, bias, stride, pad)
+	}
 	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
 	oc, kc, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
 	if kc != c {
@@ -104,112 +134,260 @@ func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
 	oh := ConvOut(h, kh, stride, pad)
 	ow := ConvOut(w, kw, stride, pad)
 	out := New(n, oc, oh, ow)
-	wmat := weight.Reshape(oc, c*kh*kw)
-	colLen := c * kh * kw * oh * ow
+	if n == 0 {
+		return out
+	}
+	k := c * kh * kw
+	m := oh * ow
+	wdata := weight.data // already [oc, k] row-major
 
-	parallelFor(n, func(s int) {
-		cols := make([]float64, colLen)
+	workers := Workers(n)
+	ss := AcquireScratch(workers)
+	parallelForSlot(n, workers, func(slot, s int) {
+		sc := ss[slot]
+		cols := sc.Buf(ScratchCols, k*m)
 		Im2Col(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, kh, kw, stride, pad, cols)
-		colT := FromSlice(cols, c*kh*kw, oh*ow)
-		res := out.data[s*oc*oh*ow : (s+1)*oc*oh*ow]
-		prod := FromSlice(res, oc, oh*ow)
-		matMulRows(prod.data, wmat.data, colT.data, 0, oc, c*kh*kw, oh*ow, false)
+		res := out.data[s*oc*m : (s+1)*oc*m]
+		matMulRowsBlocked(res, wdata, cols, 0, oc, k, m, false)
 		if bias != nil {
 			for o := 0; o < oc; o++ {
 				b := bias.data[o]
-				seg := res[o*oh*ow : (o+1)*oh*ow]
+				seg := res[o*m : (o+1)*m]
 				for i := range seg {
 					seg[i] += b
 				}
 			}
 		}
 	})
+	ReleaseScratch(ss)
 	return out
 }
 
 // Conv2DBackward computes the gradients of Conv2D. Given dOut [N,OC,OH,OW]
 // it returns dInput [N,C,H,W] and accumulates into dWeight [OC,C,KH,KW] and
 // dBias [OC] (either may be nil to skip).
+//
+// The reduction is lock-free and deterministic: samples are assigned to
+// workers in fixed contiguous chunks, each worker sums its samples' dW/dB
+// terms into private arena accumulators in ascending sample order, and the
+// per-worker partials are merged into dWeight/dBias in ascending slot order
+// after the join. For a fixed GOMAXPROCS the floating-point summation tree
+// is therefore identical on every run (and with one worker it matches the
+// sequential pre-optimization kernel bit for bit).
 func Conv2DBackward(input, weight, dOut *Tensor, stride, pad int, dWeight, dBias *Tensor) *Tensor {
+	if refKernels {
+		return conv2DBackwardRef(input, weight, dOut, stride, pad, dWeight, dBias)
+	}
 	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
 	oc, _, kh, kw := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
 	oh := ConvOut(h, kh, stride, pad)
 	ow := ConvOut(w, kw, stride, pad)
 	dIn := New(n, c, h, w)
+	if n == 0 {
+		return dIn
+	}
 	k := c * kh * kw
 	m := oh * ow
-	wmatT := Transpose2D(weight.Reshape(oc, k)) // [k, oc]
+	needW := dWeight != nil
+	needB := dBias != nil
 
-	var mu sync.Mutex
-	parallelFor(n, func(s int) {
-		cols := make([]float64, k*m)
-		Im2Col(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, kh, kw, stride, pad, cols)
-		dOutS := dOut.data[s*oc*m : (s+1)*oc*m]
+	workers := Workers(n)
+	ss := AcquireScratch(workers)
 
-		if dWeight != nil || dBias != nil {
-			// dW_s = dOut_s [oc,m] @ cols^T [m,k]
-			dws := make([]float64, oc*k)
-			colsT := make([]float64, m*k)
-			for r := 0; r < k; r++ {
-				for cc := 0; cc < m; cc++ {
-					colsT[cc*k+r] = cols[r*m+cc]
+	// W^T [k, oc], written once here and read by every worker.
+	wT := ss[0].Buf(ScratchWT, k*oc)
+	transposeInto(wT, weight.data, oc, k)
+
+	// With a single worker the partial-sum indirection is pointless:
+	// accumulate straight into the caller's gradients, which reproduces the
+	// sequential pre-optimization summation order exactly.
+	single := workers == 1
+	parallelForChunks(n, workers, func(slot, lo, hi int) {
+		sc := ss[slot]
+		var dwAcc, dbAcc []float64
+		if needW {
+			if single {
+				dwAcc = dWeight.data
+			} else {
+				dwAcc = sc.BufZero(ScratchDW, oc*k)
+			}
+		}
+		if needB {
+			if single {
+				dbAcc = dBias.data
+			} else {
+				dbAcc = sc.BufZero(ScratchDB, oc)
+			}
+		}
+		for s := lo; s < hi; s++ {
+			dOutS := dOut.data[s*oc*m : (s+1)*oc*m]
+			if needW {
+				// dW_s = dOut_s [oc,m] @ cols^T [m,k]; im2col is only
+				// needed for the weight gradient. The NT dot kernel reads
+				// cols row-major directly — no materialized transpose.
+				cols := sc.Buf(ScratchCols, k*m)
+				Im2Col(input.data[s*c*h*w:(s+1)*c*h*w], c, h, w, kh, kw, stride, pad, cols)
+				dws := sc.Buf(ScratchDWS, oc*k)
+				dotRowsNT(dws, dOutS, cols, oc, k, m)
+				for i, v := range dws {
+					dwAcc[i] += v
 				}
 			}
-			matMulRows(dws, dOutS, colsT, 0, oc, m, k, false)
-			mu.Lock()
-			if dWeight != nil {
-				for i, v := range dws {
+			if needB {
+				for o := 0; o < oc; o++ {
+					sum := 0.0
+					row := dOutS[o*m : (o+1)*m]
+					for _, v := range row {
+						sum += v
+					}
+					dbAcc[o] += sum
+				}
+			}
+			// dCols = W^T [k,oc] @ dOut_s [oc,m]
+			dCols := sc.Buf(ScratchDCols, k*m)
+			matMulRowsBlocked(dCols, wT, dOutS, 0, k, oc, m, false)
+			Col2Im(dCols, c, h, w, kh, kw, stride, pad, dIn.data[s*c*h*w:(s+1)*c*h*w])
+		}
+	})
+
+	// Fixed-order merge: ascending slot, each slot's partial covering an
+	// ascending contiguous sample range.
+	if !single {
+		for slot := 0; slot < workers; slot++ {
+			if lo, hi := chunkRange(n, workers, slot); lo >= hi {
+				continue
+			}
+			sc := ss[slot]
+			if needW {
+				for i, v := range sc.Buf(ScratchDW, oc*k) {
 					dWeight.data[i] += v
 				}
 			}
-			if dBias != nil {
-				for o := 0; o < oc; o++ {
-					sum := 0.0
-					for i := 0; i < m; i++ {
-						sum += dOutS[o*m+i]
-					}
-					dBias.data[o] += sum
+			if needB {
+				for o, v := range sc.Buf(ScratchDB, oc) {
+					dBias.data[o] += v
 				}
 			}
-			mu.Unlock()
 		}
-
-		// dCols = W^T [k,oc] @ dOut_s [oc,m]
-		dCols := make([]float64, k*m)
-		matMulRows(dCols, wmatT.data, dOutS, 0, k, oc, m, false)
-		Col2Im(dCols, c, h, w, kh, kw, stride, pad, dIn.data[s*c*h*w:(s+1)*c*h*w])
-	})
+	}
+	ReleaseScratch(ss)
 	return dIn
 }
 
-// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS goroutines.
-func parallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// transposeInto writes the [cols, rows] transpose of the row-major
+// [rows, cols] matrix src into dst. The walk is tiled so that both the
+// sequential reads and the strided writes of a tile stay within cache —
+// a straight row scan writes rows*8 bytes apart and misses on every store
+// once rows exceeds a few hundred.
+func transposeInto(dst, src []float64, rows, cols int) {
+	if len(dst) != rows*cols {
+		panic(fmt.Sprintf("tensor: transposeInto dst length %d, want %d", len(dst), rows*cols))
 	}
+	const tile = 32
+	for r0 := 0; r0 < rows; r0 += tile {
+		r1 := r0 + tile
+		if r1 > rows {
+			r1 = rows
+		}
+		for c0 := 0; c0 < cols; c0 += tile {
+			c1 := c0 + tile
+			if c1 > cols {
+				c1 = cols
+			}
+			for r := r0; r < r1; r++ {
+				srow := src[r*cols+c0 : r*cols+c1]
+				for i, v := range srow {
+					dst[(c0+i)*rows+r] = v
+				}
+			}
+		}
+	}
+}
+
+// Workers returns the worker count the parallel loops in this package use
+// for n items: GOMAXPROCS capped at n, at least 1. Callers acquiring
+// per-worker arena scratch size it with this.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chunkRange returns the half-open sample range of the given worker slot
+// under the fixed contiguous partition parallelForChunks uses. Depends only
+// on (n, workers, slot), never on scheduling.
+func chunkRange(n, workers, slot int) (lo, hi int) {
+	chunk := (n + workers - 1) / workers
+	lo = slot * chunk
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}
+
+// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS goroutines. Work
+// is handed out through a single atomic counter: one fetch-add per item
+// instead of the channel send/recv pair the old feeder-goroutine queue paid
+// (which dominated dispatch for small batches).
+func parallelFor(n int, f func(i int)) {
+	parallelForSlot(n, Workers(n), func(_, i int) { f(i) })
+}
+
+func parallelForSlot(n, workers int, f func(slot, i int)) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int, 1)
-	go func() {
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-	}()
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
-			for i := range next {
-				f(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(slot, i)
 			}
-		}()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// parallelForChunks partitions [0,n) into one fixed contiguous chunk per
+// worker slot (chunkRange) and runs f(slot, lo, hi) concurrently. Unlike
+// the counter-based loop, the item→slot assignment is static, which makes
+// per-slot reductions merged in slot order deterministic for a fixed
+// worker count.
+func parallelForChunks(n, workers int, f func(slot, lo, hi int)) {
+	if workers <= 1 {
+		f(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := chunkRange(n, workers, w)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			f(slot, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }
@@ -217,3 +395,9 @@ func parallelFor(n int, f func(i int)) {
 // ParallelFor exposes the worker-pool loop for other packages that iterate
 // over batch samples.
 func ParallelFor(n int, f func(i int)) { parallelFor(n, f) }
+
+// ParallelForSlot runs f(slot, i) for i in [0,n) with slot identifying the
+// executing worker in [0, Workers(n)). Exactly one goroutine uses a given
+// slot at a time, so slot may index per-worker state such as arena
+// scratches acquired with AcquireScratch(Workers(n)).
+func ParallelForSlot(n int, f func(slot, i int)) { parallelForSlot(n, Workers(n), f) }

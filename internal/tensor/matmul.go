@@ -10,9 +10,18 @@ import (
 // out across goroutines; below it the scheduling overhead dominates.
 const parallelThreshold = 1 << 15
 
+// Cache-blocking parameters of the production kernel. One [mmKC, mmNC]
+// panel of b (64 KiB) stays resident while every dst row in the current
+// row range consumes it, so b is streamed from cache rather than memory
+// when the row range is taller than one.
+const (
+	mmKC = 128 // k-tile: rows of b per panel
+	mmNC = 64  // n-tile: columns of b per panel, multiple of the 8-wide unroll
+)
+
 // MatMul returns a @ b for a [m,k] tensor and a [k,n] tensor, computing the
-// [m,n] product with row-parallel ikj loops (cache-friendly for row-major
-// data).
+// [m,n] product with the cache-blocked kernel (row-parallel above the work
+// threshold).
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 inputs, got %v and %v", a.shape, b.shape))
@@ -67,26 +76,450 @@ func matMulInto(dst, a, b []float64, m, k, n int, accum bool) {
 	wg.Wait()
 }
 
-// matMulRows computes rows [lo,hi) of dst = a@b with an ikj ordering so the
-// inner loop streams through contiguous memory in both b and dst.
+// matMulRows computes rows [lo,hi) of dst = a@b (or dst += a@b when accum),
+// dispatching to the reference kernel when SetRefKernels selected it.
 func matMulRows(dst, a, b []float64, lo, hi, k, n int, accum bool) {
-	for i := lo; i < hi; i++ {
-		drow := dst[i*n : (i+1)*n]
-		if !accum {
+	if refKernels {
+		matMulRowsRef(dst, a, b, lo, hi, k, n, accum)
+		return
+	}
+	matMulRowsBlocked(dst, a, b, lo, hi, k, n, accum)
+}
+
+// packThreshold is the minimum m*k*n work before matMulRowsBlocked packs b
+// tiles into micro-panels; below it the packing pass costs more than the
+// strided loads it removes.
+const packThreshold = 1 << 14
+
+// packMinRows is the minimum row count before packing pays: the packed
+// panel is amortized across the row range, and below this many rows the
+// relayout costs more than the strided loads it eliminates.
+const packMinRows = 12
+
+// Shape gates for the streaming kernel: when the row range is too short for
+// packing to amortize its relayout AND k is small with wide rows (the first
+// conv layer: k = inCh*KH*KW tens, n = OH*OW thousands, a handful of output
+// channels), sequentially streaming whole b rows beats both the strided
+// 4-wide tile walk and packing. With many rows the packed kernel holds dst
+// in registers and wins, so streaming is strictly a small-row escape hatch.
+const (
+	streamMaxK = 96
+	streamMinN = 256
+)
+
+// narrowMaxN: at and below this output width the whole dst row fits a
+// handful of registers, and the binding traffic is re-streaming a (the
+// weight matrix, megabytes for the deep layers) once per column block. The
+// narrow kernel uses 8-column blocks (vs the general kernel's 4) to halve
+// the number of passes over a. Deep conv layers on small feature maps
+// (n = OH*OW = 16) lower to exactly this shape.
+const narrowMaxN = 32
+
+// matMulRowsBlocked is the production kernel: tiled over k (mmKC) and n
+// (mmNC) with a 4-wide j unroll that keeps four accumulators in registers
+// across each k-panel, quartering the dst load/store traffic of the
+// reference ikj loop. Large products additionally repack each b tile into
+// column micro-panels so the inner loop streams b sequentially instead of
+// striding by n. For every output element the contributions arrive in
+// strictly ascending k order with the same zero-skip rule as the reference
+// kernel, so the result is bit-identical to matMulRowsRef (the parity tests
+// enforce this across random shapes).
+func matMulRowsBlocked(dst, a, b []float64, lo, hi, k, n int, accum bool) {
+	if !accum {
+		for i := lo; i < hi; i++ {
+			drow := dst[i*n : (i+1)*n]
 			for j := range drow {
 				drow[j] = 0
 			}
 		}
-		arow := a[i*k : (i+1)*k]
-		for p, av := range arow {
-			if av == 0 {
-				continue
+	}
+	if hi-lo < packMinRows && k <= streamMaxK && n >= streamMinN {
+		matMulRowsStream(dst, a, b, lo, hi, k, n)
+		return
+	}
+	if (hi-lo)*k*n >= packThreshold {
+		if n >= 8 && n <= narrowMaxN {
+			matMulRowsNarrow(dst, a, b, lo, hi, k, n)
+			return
+		}
+		if n >= 4 && hi-lo >= packMinRows {
+			matMulRowsPacked(dst, a, b, lo, hi, k, n)
+			return
+		}
+	}
+	for p0 := 0; p0 < k; p0 += mmKC {
+		p1 := p0 + mmKC
+		if p1 > k {
+			p1 = k
+		}
+		for j0 := 0; j0 < n; j0 += mmNC {
+			j1 := j0 + mmNC
+			if j1 > n {
+				j1 = n
 			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				drow := dst[i*n : (i+1)*n]
+				jj := j0
+				for ; jj+4 <= j1; jj += 4 {
+					acc0, acc1, acc2, acc3 := drow[jj], drow[jj+1], drow[jj+2], drow[jj+3]
+					off := p0*n + jj
+					for p := p0; p < p1; p++ {
+						av := arow[p]
+						if av != 0 {
+							bp := b[off : off+4]
+							acc0 += av * bp[0]
+							acc1 += av * bp[1]
+							acc2 += av * bp[2]
+							acc3 += av * bp[3]
+						}
+						off += n
+					}
+					drow[jj], drow[jj+1], drow[jj+2], drow[jj+3] = acc0, acc1, acc2, acc3
+				}
+				for ; jj < j1; jj++ {
+					acc := drow[jj]
+					off := p0*n + jj
+					for p := p0; p < p1; p++ {
+						av := arow[p]
+						if av != 0 {
+							acc += av * b[off]
+						}
+						off += n
+					}
+					drow[jj] = acc
+				}
 			}
 		}
+	}
+}
+
+// matMulRowsPacked is the large-product path of matMulRowsBlocked. Each
+// [kc, width] tile of b is repacked once into 4-column micro-panels laid
+// out sequentially in p — the inner register loop then reads pack linearly
+// instead of striding n doubles through b, which is what starves the
+// prefetcher on conv-sized products (n = OH*OW in the thousands). The
+// micro-kernel computes a 2×4 block of dst per pass: two rows share every
+// packed b load, halving the panel traffic per multiply-add (the panel is
+// what streams from L2 on every row pass), while the eight accumulators and
+// the two a values still fit the register file without spills. The packing
+// is a pure relayout: per output element the accumulation order over p and
+// the av==0 skip are exactly those of the reference kernel, so bit-parity
+// is preserved. dst rows must already hold their initial values (zeroed or
+// accumulating).
+func matMulRowsPacked(dst, a, b []float64, lo, hi, k, n int) {
+	// One tile of packed micro-panels. Stack-allocated: goroutine-private by
+	// construction, no arena traffic, and the one-time zeroing is below the
+	// packThreshold noise floor.
+	var pack [mmKC * mmNC]float64
+	for p0 := 0; p0 < k; p0 += mmKC {
+		p1 := p0 + mmKC
+		if p1 > k {
+			p1 = k
+		}
+		kc := p1 - p0
+		for j0 := 0; j0 < n; j0 += mmNC {
+			j1 := j0 + mmNC
+			if j1 > n {
+				j1 = n
+			}
+			width := j1 - j0
+			width4 := width &^ 3
+			// Pack: micro-panel jg holds columns [j0+jg, j0+jg+4) for all p
+			// in the tile, contiguous in p. Columns past width4 stay
+			// unpacked and are handled by the scalar tail below.
+			for p := 0; p < kc; p++ {
+				brow := b[(p0+p)*n+j0 : (p0+p)*n+j0+width4]
+				o := p * 4
+				for jg := 0; jg+4 <= width4; jg += 4 {
+					copy(pack[o:o+4], brow[jg:jg+4])
+					o += kc * 4
+				}
+			}
+			i := lo
+			for ; i+2 <= hi; i += 2 {
+				arow0 := a[i*k+p0 : i*k+p1]
+				arow1 := a[(i+1)*k+p0 : (i+1)*k+p1]
+				drow0 := dst[i*n : (i+1)*n]
+				drow1 := dst[(i+1)*n : (i+2)*n]
+				jj := j0
+				for ; jj+4 <= j0+width4; jj += 4 {
+					acc00, acc01, acc02, acc03 := drow0[jj], drow0[jj+1], drow0[jj+2], drow0[jj+3]
+					acc10, acc11, acc12, acc13 := drow1[jj], drow1[jj+1], drow1[jj+2], drow1[jj+3]
+					panel := pack[(jj-j0)*kc : (jj-j0)*kc+kc*4]
+					for p, av0 := range arow0 {
+						bp := panel[:4]
+						b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+						panel = panel[4:]
+						if av0 != 0 {
+							acc00 += av0 * b0
+							acc01 += av0 * b1
+							acc02 += av0 * b2
+							acc03 += av0 * b3
+						}
+						if av1 := arow1[p]; av1 != 0 {
+							acc10 += av1 * b0
+							acc11 += av1 * b1
+							acc12 += av1 * b2
+							acc13 += av1 * b3
+						}
+					}
+					drow0[jj], drow0[jj+1], drow0[jj+2], drow0[jj+3] = acc00, acc01, acc02, acc03
+					drow1[jj], drow1[jj+1], drow1[jj+2], drow1[jj+3] = acc10, acc11, acc12, acc13
+				}
+				for ; jj < j1; jj++ {
+					acc0, acc1 := drow0[jj], drow1[jj]
+					off := p0*n + jj
+					for p, av0 := range arow0 {
+						bv := b[off]
+						if av0 != 0 {
+							acc0 += av0 * bv
+						}
+						if av1 := arow1[p]; av1 != 0 {
+							acc1 += av1 * bv
+						}
+						off += n
+					}
+					drow0[jj], drow1[jj] = acc0, acc1
+				}
+			}
+			if i < hi {
+				arow := a[i*k+p0 : i*k+p1]
+				drow := dst[i*n : (i+1)*n]
+				jj := j0
+				for ; jj+4 <= j0+width4; jj += 4 {
+					acc0, acc1, acc2, acc3 := drow[jj], drow[jj+1], drow[jj+2], drow[jj+3]
+					panel := pack[(jj-j0)*kc : (jj-j0)*kc+kc*4]
+					for _, av := range arow {
+						if av != 0 {
+							bp := panel[:4]
+							acc0 += av * bp[0]
+							acc1 += av * bp[1]
+							acc2 += av * bp[2]
+							acc3 += av * bp[3]
+						}
+						panel = panel[4:]
+					}
+					drow[jj], drow[jj+1], drow[jj+2], drow[jj+3] = acc0, acc1, acc2, acc3
+				}
+				for ; jj < j1; jj++ {
+					acc := drow[jj]
+					off := p0*n + jj
+					for _, av := range arow {
+						if av != 0 {
+							acc += av * b[off]
+						}
+						off += n
+					}
+					drow[jj] = acc
+				}
+			}
+		}
+	}
+}
+
+// matMulRowsNarrow is the narrow-output path (n <= narrowMaxN, the deep
+// conv layers where OH*OW has shrunk to a few dozen): b is tiny and packs
+// whole k-tiles into L1, so the binding traffic is streaming a — megabytes
+// of weights — once per column block. Eight-column register blocks mean a is
+// walked only ceil(n/8) times, half as often as the general 4-column
+// kernel, and each walk is sequential. Accumulation order and the av==0
+// skip per output element match the reference kernel exactly. dst rows must
+// already hold their initial values.
+func matMulRowsNarrow(dst, a, b []float64, lo, hi, k, n int) {
+	var pack [mmKC * narrowMaxN]float64
+	n8 := n &^ 7
+	for p0 := 0; p0 < k; p0 += mmKC {
+		p1 := p0 + mmKC
+		if p1 > k {
+			p1 = k
+		}
+		kc := p1 - p0
+		// Pack: column block jg holds columns [jg, jg+8) for every p in the
+		// tile, contiguous in p. Columns past n8 are handled unpacked.
+		for p := 0; p < kc; p++ {
+			brow := b[(p0+p)*n : (p0+p)*n+n8]
+			o := p * 8
+			for jg := 0; jg+8 <= n8; jg += 8 {
+				copy(pack[o:o+8], brow[jg:jg+8])
+				o += kc * 8
+			}
+		}
+		for i := lo; i < hi; i++ {
+			arow := a[i*k+p0 : i*k+p1]
+			drow := dst[i*n : i*n+n]
+			jj := 0
+			for ; jj+8 <= n8; jj += 8 {
+				acc0, acc1, acc2, acc3 := drow[jj], drow[jj+1], drow[jj+2], drow[jj+3]
+				acc4, acc5, acc6, acc7 := drow[jj+4], drow[jj+5], drow[jj+6], drow[jj+7]
+				panel := pack[jj*kc : jj*kc+kc*8]
+				for _, av := range arow {
+					if av != 0 {
+						bp := panel[:8]
+						acc0 += av * bp[0]
+						acc1 += av * bp[1]
+						acc2 += av * bp[2]
+						acc3 += av * bp[3]
+						acc4 += av * bp[4]
+						acc5 += av * bp[5]
+						acc6 += av * bp[6]
+						acc7 += av * bp[7]
+					}
+					panel = panel[8:]
+				}
+				drow[jj], drow[jj+1], drow[jj+2], drow[jj+3] = acc0, acc1, acc2, acc3
+				drow[jj+4], drow[jj+5], drow[jj+6], drow[jj+7] = acc4, acc5, acc6, acc7
+			}
+			for ; jj < n; jj++ {
+				acc := drow[jj]
+				off := p0*n + jj
+				for _, av := range arow {
+					if av != 0 {
+						acc += av * b[off]
+					}
+					off += n
+				}
+				drow[jj] = acc
+			}
+		}
+	}
+}
+
+// matMulRowsStream is the small-k, large-n path: b rows are streamed
+// sequentially (prefetch-friendly, no strided access) while four dst rows
+// consume each b row in one pass, quartering the dst load/store traffic of
+// a one-row ikj loop. Per output element the p order and the av==0 skip
+// match the reference kernel exactly (the per-row skip just routes through
+// the sparse fallback), so bit-parity is preserved. dst rows must already
+// hold their initial values.
+func matMulRowsStream(dst, a, b []float64, lo, hi, k, n int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		arow0 := a[i*k : (i+1)*k]
+		arow1 := a[(i+1)*k : (i+2)*k]
+		arow2 := a[(i+2)*k : (i+3)*k]
+		arow3 := a[(i+3)*k : (i+4)*k]
+		d0 := dst[i*n : i*n+n]
+		d1 := dst[(i+1)*n : (i+1)*n+n]
+		d2 := dst[(i+2)*n : (i+2)*n+n]
+		d3 := dst[(i+3)*n : (i+3)*n+n]
+		for p := 0; p < k; p++ {
+			brow := b[p*n : p*n+n]
+			av0, av1, av2, av3 := arow0[p], arow1[p], arow2[p], arow3[p]
+			if av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+				d0, d1, d2, d3 := d0[:n], d1[:n], d2[:n], d3[:n]
+				for j, bv := range brow {
+					d0[j] += av0 * bv
+					d1[j] += av1 * bv
+					d2[j] += av2 * bv
+					d3[j] += av3 * bv
+				}
+				continue
+			}
+			// Sparse fallback: rows with a zero coefficient skip this b row,
+			// exactly as the reference kernel does.
+			if av0 != 0 {
+				streamAxpy(d0, brow, av0)
+			}
+			if av1 != 0 {
+				streamAxpy(d1, brow, av1)
+			}
+			if av2 != 0 {
+				streamAxpy(d2, brow, av2)
+			}
+			if av3 != 0 {
+				streamAxpy(d3, brow, av3)
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : i*n+n]
+		for p, av := range arow {
+			if av != 0 {
+				streamAxpy(drow, b[p*n:p*n+n], av)
+			}
+		}
+	}
+}
+
+// dotRowsNT computes dst[ma,nb] = a[ma,p] @ b[nb,p]^T without materializing
+// the transpose: element (i,j) is the dot product of row i of a and row j of
+// b, so both operands stream sequentially. This is the weight-gradient shape
+// (dW = dOut @ cols^T) where the second operand is only available row-major;
+// a transpose-then-matmul detour would cost an extra full pass over cols.
+// Per output element the q order is ascending and a zero a coefficient skips
+// its contribution, exactly as the reference kernel computes the same
+// product from the materialized transpose — bit-parity is preserved.
+func dotRowsNT(dst, a, b []float64, ma, nb, p int) {
+	i := 0
+	for ; i+2 <= ma; i += 2 {
+		a0 := a[i*p : (i+1)*p]
+		a1 := a[(i+1)*p : (i+2)*p]
+		d0 := dst[i*nb : (i+1)*nb]
+		d1 := dst[(i+1)*nb : (i+2)*nb]
+		j := 0
+		for ; j+4 <= nb; j += 4 {
+			b0 := b[j*p : j*p+p]
+			b1 := b[(j+1)*p : (j+1)*p+p]
+			b2 := b[(j+2)*p : (j+2)*p+p]
+			b3 := b[(j+3)*p : (j+3)*p+p]
+			var acc00, acc01, acc02, acc03 float64
+			var acc10, acc11, acc12, acc13 float64
+			for q, av0 := range a0 {
+				bv0, bv1, bv2, bv3 := b0[q], b1[q], b2[q], b3[q]
+				if av0 != 0 {
+					acc00 += av0 * bv0
+					acc01 += av0 * bv1
+					acc02 += av0 * bv2
+					acc03 += av0 * bv3
+				}
+				if av1 := a1[q]; av1 != 0 {
+					acc10 += av1 * bv0
+					acc11 += av1 * bv1
+					acc12 += av1 * bv2
+					acc13 += av1 * bv3
+				}
+			}
+			d0[j], d0[j+1], d0[j+2], d0[j+3] = acc00, acc01, acc02, acc03
+			d1[j], d1[j+1], d1[j+2], d1[j+3] = acc10, acc11, acc12, acc13
+		}
+		for ; j < nb; j++ {
+			brow := b[j*p : j*p+p]
+			var s0, s1 float64
+			for q, av0 := range a0 {
+				bv := brow[q]
+				if av0 != 0 {
+					s0 += av0 * bv
+				}
+				if av1 := a1[q]; av1 != 0 {
+					s1 += av1 * bv
+				}
+			}
+			d0[j], d1[j] = s0, s1
+		}
+	}
+	if i < ma {
+		arow := a[i*p : (i+1)*p]
+		drow := dst[i*nb : (i+1)*nb]
+		for j := 0; j < nb; j++ {
+			brow := b[j*p : j*p+p]
+			var s float64
+			for q, av := range arow {
+				if av != 0 {
+					s += av * brow[q]
+				}
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// streamAxpy computes d += av * brow over one row.
+func streamAxpy(d, brow []float64, av float64) {
+	d = d[:len(brow)]
+	for j, bv := range brow {
+		d[j] += av * bv
 	}
 }
 

@@ -209,12 +209,20 @@ func Transpose2D(t *Tensor) *Tensor {
 	}
 	rows, cols := t.shape[0], t.shape[1]
 	out := New(cols, rows)
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			out.data[c*rows+r] = t.data[r*cols+c]
-		}
-	}
+	transposeInto(out.data, t.data, rows, cols)
 	return out
+}
+
+// Transpose2DInto writes the transpose of the [rows, cols] tensor t into
+// dst (length rows*cols, e.g. arena scratch) and returns a [cols, rows]
+// tensor wrapping dst. The allocation-free sibling of Transpose2D.
+func Transpose2DInto(dst []float64, t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2DInto requires rank-2 input, got %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	transposeInto(dst, t.data, rows, cols)
+	return FromSlice(dst, cols, rows)
 }
 
 // Concat concatenates tensors along axis 0-based dim. All inputs must agree

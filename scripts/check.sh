@@ -24,4 +24,8 @@ go run ./cmd/rtlint ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== benchperf smoke"
+mkdir -p out
+go run ./cmd/benchperf -smoke -out out/bench_smoke.json
+
 echo "== checks passed"
