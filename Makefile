@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the tier-1 verify path:
 # gofmt + build + vet + rtlint + race-enabled tests (scripts/check.sh).
 
-.PHONY: check build vet lint test race bench bench-tables serve
+.PHONY: check build vet lint test race bench bench-tables serve report
 
 check:
 	./scripts/check.sh
@@ -37,3 +37,9 @@ bench-tables:
 # Run the evaluation service locally.
 serve:
 	go run ./cmd/servd -addr :8080
+
+# Render a JSONL run journal (written via `attackgen -journal` or
+# `evalattack -journal`) into per-restart-segment summaries.
+JOURNAL ?= out/run.jsonl
+report:
+	go run ./cmd/runreport $(JOURNAL)

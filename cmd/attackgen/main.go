@@ -1,18 +1,22 @@
 // Command attackgen crafts adversarial road decals against a trained
 // detector: ours (GAN, monochrome, consecutive frames), the no-consecutive
 // ablation, or the colored baseline [34]. It saves the patch and its print
-// preview.
+// preview. With -journal it also records a structured JSONL run journal
+// (render with cmd/runreport); with -progress it serves live training
+// introspection over HTTP.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"roadtrojan"
 
 	"roadtrojan/internal/attack"
 	"roadtrojan/internal/eot"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/shapes"
 )
 
@@ -25,18 +29,20 @@ func main() {
 
 func run() error {
 	var (
-		weights = flag.String("weights", "testdata/detector.rtwt", "detector weights")
-		out     = flag.String("out", "out/patch.rtwt", "patch output path")
-		png     = flag.String("png", "out/patch.png", "print-preview PNG path")
-		method  = flag.String("method", "ours", "ours | ours-static | baseline")
-		env     = flag.String("env", "road", "road | sim")
-		shape   = flag.String("shape", "star", "star | circle | square | triangle")
-		n       = flag.Int("n", 4, "number of decals N")
-		k       = flag.Int("k", 60, "patch print size k")
-		iters   = flag.Int("iters", 300, "training iterations")
-		alpha   = flag.Float64("alpha", 0.5, "attack-loss weight α")
-		tricks  = flag.String("tricks", "1245", "EOT trick numbers, e.g. 1245")
-		seed    = flag.Int64("seed", 1, "random seed")
+		weights  = flag.String("weights", "testdata/detector.rtwt", "detector weights")
+		out      = flag.String("out", "out/patch.rtwt", "patch output path")
+		png      = flag.String("png", "out/patch.png", "print-preview PNG path")
+		method   = flag.String("method", "ours", "ours | ours-static | baseline")
+		env      = flag.String("env", "road", "road | sim")
+		shape    = flag.String("shape", "star", "star | circle | square | triangle")
+		n        = flag.Int("n", 4, "number of decals N")
+		k        = flag.Int("k", 60, "patch print size k")
+		iters    = flag.Int("iters", 300, "training iterations")
+		alpha    = flag.Float64("alpha", 0.5, "attack-loss weight α")
+		tricks   = flag.String("tricks", "1245", "EOT trick numbers, e.g. 1245")
+		seed     = flag.Int64("seed", 1, "random seed")
+		journal  = flag.String("journal", "", "write a JSONL run journal here (render with cmd/runreport); also runs a post-train digital check so the journal carries PWC/CWC")
+		progress = flag.String("progress", "", "serve live /progress, /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -74,22 +80,72 @@ func run() error {
 		sc = roadtrojan.NewSimScene()
 	}
 
+	// Sink stack: optional journal + the legacy stdout text log + optional
+	// live progress. The trace runs on a logical clock so the same seed
+	// yields a byte-identical journal.
+	var sinks []obs.Sink
+	var j *obs.Journal
+	if *journal != "" {
+		if dir := filepath.Dir(*journal); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("journal dir: %w", err)
+			}
+		}
+		if j, err = obs.OpenJournal(*journal); err != nil {
+			return err
+		}
+		sinks = append(sinks, j)
+	}
+	sinks = append(sinks, obs.NewTextSink(os.Stdout))
+	if *progress != "" {
+		prog := obs.NewProgressSink(nil)
+		srv, err := obs.ServeProgress(*progress, prog)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("progress on http://%s/progress (metrics: /metrics, profiler: /debug/pprof)\n", srv.Addr)
+		// The telemetry sink folds the same record stream into the
+		// registry /metrics serves, so scrapers see live counters too.
+		sinks = append(sinks, prog, obs.NewTelemetrySink(prog.Registry()))
+	}
+	tr := obs.New(obs.Multi(sinks...), obs.NewLogicalClock())
+
 	var p *roadtrojan.Patch
 	switch *method {
 	case "ours":
 		cfg.Consecutive = true
-		p, err = roadtrojan.CraftPatch(det, sc, cfg, os.Stdout)
+		p, err = roadtrojan.CraftPatchTraced(det, sc, cfg, tr)
 	case "ours-static":
 		cfg.Consecutive = false
-		p, err = roadtrojan.CraftPatch(det, sc, cfg, os.Stdout)
+		p, err = roadtrojan.CraftPatchTraced(det, sc, cfg, tr)
 	case "baseline":
-		p, err = roadtrojan.CraftBaselinePatch(det, sc, cfg, os.Stdout)
+		p, err = roadtrojan.CraftBaselinePatchTraced(det, sc, cfg, tr)
 	default:
 		return fmt.Errorf("unknown method %q", *method)
 	}
 	if err != nil {
 		return err
 	}
+
+	// When journaling, append a short digital evaluation so cmd/runreport
+	// can show PWC/CWC next to the training curves. Two repetitions keep the
+	// check cheap; the full protocol lives in cmd/evalattack.
+	if j != nil {
+		cond := roadtrojan.DigitalCondition()
+		cond.Runs = 2
+		cond.Seed = *seed
+		s, err := roadtrojan.EvaluateScenarioTraced(det, sc, p, p.Cfg.TargetClass, "fix", cond, tr)
+		if err != nil {
+			return fmt.Errorf("post-train digital check: %w", err)
+		}
+		fmt.Printf("digital check (fix): %s\n", s.String())
+		if err := j.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("journal written to %s (render: go run ./cmd/runreport %s)\n", *journal, *journal)
+	}
+
 	if err := attack.SavePatch(*out, p); err != nil {
 		return err
 	}

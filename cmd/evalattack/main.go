@@ -1,16 +1,20 @@
 // Command evalattack scores a saved patch (or the no-attack baseline) under
-// the paper's challenge settings, printing PWC / CWC per challenge.
+// the paper's challenge settings, printing PWC / CWC per challenge. With
+// -journal the per-run and averaged scores are also recorded as a JSONL
+// journal (render with cmd/runreport).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"roadtrojan"
 
 	"roadtrojan/internal/attack"
+	"roadtrojan/internal/obs"
 )
 
 func main() {
@@ -29,6 +33,8 @@ func run() error {
 		challenges = flag.String("challenges", strings.Join(roadtrojan.AllChallenges(), ","), "comma-separated challenge names")
 		runs       = flag.Int("runs", 3, "runs to average")
 		seed       = flag.Int64("seed", 100, "evaluation seed")
+		journal    = flag.String("journal", "", "write a JSONL evaluation journal here (render with cmd/runreport)")
+		progress   = flag.String("progress", "", "serve live /progress, /metrics and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -72,13 +78,44 @@ func run() error {
 	cond.Runs = *runs
 	cond.Seed = *seed
 
+	var sinks []obs.Sink
+	var j *obs.Journal
+	if *journal != "" {
+		if dir := filepath.Dir(*journal); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("journal dir: %w", err)
+			}
+		}
+		if j, err = obs.OpenJournal(*journal); err != nil {
+			return err
+		}
+		sinks = append(sinks, j)
+	}
+	if *progress != "" {
+		prog := obs.NewProgressSink(nil)
+		srv, err := obs.ServeProgress(*progress, prog)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("progress on http://%s/progress (metrics: /metrics, profiler: /debug/pprof)\n", srv.Addr)
+		sinks = append(sinks, prog, obs.NewTelemetrySink(prog.Registry()))
+	}
+	tr := obs.New(obs.Multi(sinks...), obs.NewLogicalClock())
+
 	for _, ch := range names {
-		s, err := roadtrojan.EvaluateScenario(det, sc, p, target, ch, cond)
+		s, err := roadtrojan.EvaluateScenarioTraced(det, sc, p, target, ch, cond, tr)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-10s %s   (frames %d, detect-rate %.2f, longest run %d)\n",
 			ch, s.String(), s.Frames, s.DetectRate, s.WrongRun)
+	}
+	if j != nil {
+		if err := j.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("journal written to %s (render: go run ./cmd/runreport %s)\n", *journal, *journal)
 	}
 	return nil
 }

@@ -1,0 +1,64 @@
+// Command runreport renders a JSONL run journal (written by cmd/attackgen
+// or cmd/evalattack via -journal) into a human-readable summary: one table
+// row per restart segment with loss statistics, ASCII sparklines of the
+// loss curves, the verification history, and the evaluation's PWC/CWC.
+//
+// Usage:
+//
+//	go run ./cmd/runreport out/run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"roadtrojan/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: runreport <journal.jsonl>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(flag.Args(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "runreport:", err)
+		os.Exit(1)
+	}
+}
+
+// run renders each journal named in args to w. Split out of main so the
+// golden test can drive it.
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no journal file given (usage: runreport <journal.jsonl>)")
+	}
+	for i, path := range args {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if len(args) > 1 {
+			fmt.Fprintf(w, "== %s ==\n", path)
+		}
+		if err := render(path, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func render(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadJournal(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	obs.BuildReport(recs).Render(w)
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden pair lives with the obs package; runreport is a thin shell
+// over obs.ReadJournal + BuildReport + Render, so the same fixture pins the
+// end-to-end CLI path.
+const sampleDir = "../../internal/obs/testdata"
+
+func TestRunRendersGoldenReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{filepath.Join(sampleDir, "sample.jsonl")}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(sampleDir, "sample.report.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestRunRejectsMissingArgs(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("want usage error for empty args")
+	}
+}
+
+func TestRunRejectsBadJournal(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error for malformed journal")
+	}
+}
+
+func TestRunMultipleJournalsAreHeadered(t *testing.T) {
+	p := filepath.Join(sampleDir, "sample.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{p, p}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(buf.Bytes(), []byte("== ")); got != 2 {
+		t.Fatalf("want 2 per-file headers, got %d:\n%s", got, buf.Bytes())
+	}
+}

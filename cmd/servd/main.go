@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"roadtrojan"
 
 	"roadtrojan/internal/serve"
+	"roadtrojan/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func run() error {
 		cache   = flag.Int("cache", 128, "evaluation result cache entries (negative disables)")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-job deadline")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		pprofOn = flag.Bool("pprof", false, "expose /debug/pprof (off by default: the profiler leaks operational detail, enable only on trusted networks)")
 	)
 	flag.Parse()
 
@@ -45,7 +48,13 @@ func run() error {
 
 	s := serve.New(det.Model(), serve.Config{
 		Workers: *workers, QueueSize: *queue, CacheSize: *cache, JobTimeout: *timeout,
+		EnablePprof: *pprofOn,
 	})
+
+	// build_info follows the Prometheus convention: a constant-1 gauge whose
+	// labels carry the build identity, so dashboards can join on it.
+	s.Metrics().Gauge("roadtrojan_build_info", "build identity of this servd process",
+		telemetry.Labels{"go_version": runtime.Version(), "module": "roadtrojan"}).Set(1)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -53,6 +62,9 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe(*addr) }()
 	fmt.Printf("servd: listening on %s (weights %s)\n", *addr, *weights)
+	if *pprofOn {
+		fmt.Printf("servd: profiler exposed at /debug/pprof\n")
+	}
 
 	select {
 	case err := <-errc:

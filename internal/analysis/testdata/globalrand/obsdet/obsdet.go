@@ -1,0 +1,31 @@
+// Package attack exercises a deterministic package that imports
+// roadtrojan/internal/obs. Instrumenting with spans and typed events must
+// produce zero globalrand findings: obs confines wall-clock reads behind
+// its Clock interface, so the importer never touches time.Now itself.
+// This file intentionally carries no `// want` comments.
+package attack
+
+import (
+	"math/rand"
+
+	"roadtrojan/internal/obs"
+)
+
+// Optimize runs a seeded loop under a span; all of this is legal in a
+// deterministic package.
+func Optimize(tr *obs.Trace, rng *rand.Rand, iters int) float64 {
+	sp := tr.Span("train", obs.I("iters", iters))
+	defer sp.End()
+	loss := 1.0
+	for it := 0; it < iters; it++ {
+		loss *= 0.9 + rng.Float64()*0.01
+		sp.Iter(obs.IterStats{Method: "ours", It: it, Attack: loss})
+	}
+	return loss
+}
+
+// Snapshot emits a verify event — typed event methods are plain calls, no
+// clock access in this package.
+func Snapshot(sp *obs.Span, it int, score float64) {
+	sp.Verify(obs.VerifyStats{It: it, Score: score, Best: score, Kept: true})
+}

@@ -1,0 +1,108 @@
+package attack
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"roadtrojan/internal/obs"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/yolo"
+)
+
+// journalRun trains a tiny fixed-seed patch into an in-memory journal and
+// returns the raw bytes. Everything — detector init, attack config, and the
+// trace's logical clock — is rebuilt from scratch so two calls share no
+// state.
+func journalRun(t *testing.T, iters int) []byte {
+	t.Helper()
+	sc := testScene()
+	det := yolo.New(rand.New(rand.NewSource(5)), yolo.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Iters = iters
+	cfg.N = 2
+
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	tr := obs.New(j, obs.NewLogicalClock())
+	if _, _, err := Train(det, scene.DefaultCamera(), sc, cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainJournalByteStable is the determinism acceptance test: the same
+// seed must produce a byte-identical journal, because the trainers draw no
+// wall-clock time and the logical clock makes ticks a pure function of the
+// event sequence.
+func TestTrainJournalByteStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("journal determinism test skipped in -short mode")
+	}
+	a := journalRun(t, 5)
+	b := journalRun(t, 5)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different journals:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestTrainJournalSchemaAndShape validates the journal against the reader:
+// correct schema header, only known kinds, and the record families a
+// training run must produce.
+func TestTrainJournalSchemaAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("journal shape test skipped in -short mode")
+	}
+	raw := journalRun(t, 5)
+
+	header, _, _ := strings.Cut(string(raw), "\n")
+	wantHeader := fmt.Sprintf(`{"k":"journal","schema":%d}`, obs.SchemaVersion)
+	if header != wantHeader {
+		t.Fatalf("journal header = %q, want %q", header, wantHeader)
+	}
+
+	recs, err := obs.ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.Kind]++
+	}
+	// 5 iterations in one restart segment (segments need Iters >= 120):
+	// a train span wrapping one segment span, per-iteration iter and gan_d
+	// records, EOT draws for every sampled frame, and at least the final
+	// verification snapshot.
+	if counts["span_start"] != 2 || counts["span_end"] != 2 {
+		t.Fatalf("span records = %d start / %d end, want 2/2 (train + segment): %v",
+			counts["span_start"], counts["span_end"], counts)
+	}
+	if counts["iter"] != 5 {
+		t.Fatalf("iter records = %d, want 5: %v", counts["iter"], counts)
+	}
+	if counts["gan_d"] == 0 {
+		t.Fatalf("no gan_d records (discriminator steps run on a cadence but must appear): %v", counts)
+	}
+	if counts["eot"] == 0 {
+		t.Fatalf("no eot records: %v", counts)
+	}
+	if counts["verify"] == 0 {
+		t.Fatalf("no verify records: %v", counts)
+	}
+
+	// Iter records carry the Eq. 1 composition: total = gan_g + α·attack.
+	for _, r := range recs {
+		if r.Kind != "iter" {
+			continue
+		}
+		alpha, attack, ganG, total := r.Float("alpha"), r.Float("attack"), r.Float("gan_g"), r.Float("total")
+		if diff := total - (ganG + alpha*attack); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("iter %d: total %v != gan_g %v + %v*attack %v", r.Int("it"), total, ganG, alpha, attack)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package attack
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 
@@ -10,6 +9,7 @@ import (
 	"roadtrojan/internal/gan"
 	"roadtrojan/internal/imaging"
 	"roadtrojan/internal/nn"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/optim"
 	"roadtrojan/internal/physical"
 	"roadtrojan/internal/scene"
@@ -125,9 +125,11 @@ func (p trajectoryPools) sampleWindow(rng *rand.Rand, consecutive bool, w int) [
 
 // forwardFrames renders the decaled texture through a window with fresh EOT
 // samples and runs the detector's attack loss. It returns the loss, the
-// texture gradient, and the mean target probability.
+// texture gradient, and the mean target probability. Each frame's EOT draw
+// is journaled on sp (free when tracing is off).
 func forwardFrames(det *yolo.Model, g *scene.Ground, decaled *tensor.Tensor, window []scene.TrajectoryStep,
-	sampler *eot.Sampler, rng *rand.Rand, sc Scene, targetClass scene.Class) (float64, *tensor.Tensor, float64, error) {
+	sampler *eot.Sampler, rng *rand.Rand, sc Scene, targetClass scene.Class,
+	sp *obs.Span, it int) (float64, *tensor.Tensor, float64, error) {
 
 	w := len(window)
 	imgH, imgW := window[0].Cam.ImgH, window[0].Cam.ImgW
@@ -137,6 +139,11 @@ func forwardFrames(det *yolo.Model, g *scene.Ground, decaled *tensor.Tensor, win
 	sz := 3 * imgH * imgW
 	for i, st := range window {
 		applied := sampler.Sample(rng, imgH, imgW)
+		sp.EOT(obs.EOTDraw{
+			It: it, Frame: i,
+			Resize: applied.Params.Resize, Rotation: applied.Params.Rotation,
+			Bright: applied.Params.Bright, Gamma: applied.Params.Gamma, Persp: applied.Params.Persp,
+		})
 		img, fg, err := renderTrainFrame(g, decaled, st, applied)
 		if err != nil {
 			return 0, nil, 0, err
@@ -187,6 +194,40 @@ func forwardFrames(det *yolo.Model, g *scene.Ground, decaled *tensor.Tensor, win
 	return loss, dTex, prob, nil
 }
 
+// inkStats summarizes a print-ready layer for observability: mean ink
+// coverage and the fraction of pixels more ink than paper. Low values paint
+// ink (the composite's transparency convention), so ink = 1 - v. With a
+// mask, only silhouette pixels (mask > 0.5) count; a nil mask (the colored
+// baseline) averages the whole layer.
+func inkStats(layer, mask *tensor.Tensor) (mean, frac float64) {
+	ld := layer.Data()
+	n := 0
+	if mask == nil {
+		for _, v := range ld {
+			mean += 1 - v
+			if v < 0.5 {
+				frac++
+			}
+		}
+		n = len(ld)
+	} else {
+		md := mask.Data()
+		for i, m := range md {
+			if m > 0.5 {
+				mean += 1 - ld[i]
+				if ld[i] < 0.5 {
+					frac++
+				}
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return mean / float64(n), frac / float64(n)
+}
+
 // combinedVerify scores a candidate patch the way the paper's protocol
 // does: digital verification first, then a printed spot-check; the kept
 // artifact must work in both worlds.
@@ -221,8 +262,9 @@ func printExpectation(p *tensor.Tensor) (*tensor.Tensor, func(d *tensor.Tensor) 
 // Train runs the paper's attack: the GAN generator is optimized with Eq. 1
 // (adversarial realism toward Four Shapes + α-weighted targeted detector
 // attack through EOT, ground compositing and the moving camera). It returns
-// the final monochrome patch.
-func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writer) (*Patch, *TrainStats, error) {
+// the final monochrome patch. tr receives the structured run trace (nil
+// disables tracing; obs.TextTrace restores the historical log lines).
+func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, tr *obs.Trace) (*Patch, *TrainStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -231,6 +273,7 @@ func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writ
 	if len(pools.static) == 0 {
 		return nil, nil, fmt.Errorf("attack: target never visible from training cameras")
 	}
+	root := tr.Span("train", obs.S("method", "ours"), obs.I("iters", cfg.Iters), obs.I64("seed", cfg.Seed))
 
 	g := gan.NewGenerator(rng)
 	d := gan.NewDiscriminator(rng)
@@ -256,15 +299,25 @@ func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writ
 	verifyRng := rand.New(rand.NewSource(cfg.Seed + 777))
 	bestPatch := (*Patch)(nil)
 	bestScore := -1.0
-	snapshot := func() {
+	snapshot := func(it int) {
 		g.SetTraining(false)
 		cand := &Patch{Gray: g.Forward(zStar).Reshape(1, r, r).Clone(), Mask: mask.Clone(), Cfg: cfg}
 		g.SetTraining(true)
 		score := combinedVerify(det, cam, sc, cand, verifyRng)
-		if score > bestScore {
+		kept := score > bestScore
+		if kept {
 			bestScore, bestPatch = score, cand
 		}
+		root.Verify(obs.VerifyStats{It: it, Score: score, Best: bestScore, Kept: kept})
 	}
+
+	curSeg := 0
+	curLR := cfg.LRG
+	segSpan := root.Child("segment", obs.I("seg", 0))
+	defer func() {
+		segSpan.End()
+		root.End()
+	}()
 
 	const dBatch = 6
 	for it := 0; it < cfg.Iters; it++ {
@@ -274,15 +327,21 @@ func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writ
 			g = gan.NewGenerator(rng)
 			optG = optim.NewAdam(g.Params(), cfg.LRG)
 			zStar = gan.SampleZ(rng, 1)
+			curSeg = it / segLen
+			segSpan.End()
+			segSpan = root.Child("segment", obs.I("seg", curSeg))
 		}
 		// Step-decay the generator LR for a stable final patch.
 		switch {
 		case segLen >= 10 && segIt == segLen*17/20:
-			optG.SetLR(cfg.LRG * 0.1)
+			curLR = cfg.LRG * 0.1
+			optG.SetLR(curLR)
 		case segLen >= 10 && segIt == segLen*3/5:
-			optG.SetLR(cfg.LRG * 0.3)
+			curLR = cfg.LRG * 0.3
+			optG.SetLR(curLR)
 		case segIt == 0:
-			optG.SetLR(cfg.LRG)
+			curLR = cfg.LRG
+			optG.SetLR(curLR)
 		}
 		// --- discriminator step (real Four Shapes vs generated) ---------
 		// Updating D only every other iteration (and not at all once it
@@ -295,7 +354,7 @@ func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writ
 			zD := gan.SampleZ(rng, dBatch)
 			fakes := g.Forward(zD) // detached: no G backward from this pass
 			nn.ZeroGrads(d.Params())
-			lossD = gan.DiscriminatorStep(d, real, fakes)
+			lossD = gan.TracedDiscriminatorStep(segSpan, it, d, real, fakes)
 			optD.Step()
 			nn.ZeroGrads(d.Params())
 			stats.lastD = lossD
@@ -311,7 +370,7 @@ func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writ
 		if err != nil {
 			return nil, nil, err
 		}
-		attackLoss, dTex, prob, err := forwardFrames(det, sc.Ground, decaled, window, sampler, rng, sc, cfg.TargetClass)
+		attackLoss, dTex, prob, err := forwardFrames(det, sc.Ground, decaled, window, sampler, rng, sc, cfg.TargetClass, segSpan, it)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -335,14 +394,22 @@ func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writ
 		// Snapshot selection: the attacker prints the best patch seen, per
 		// the paper's confirm-digitally-first protocol.
 		if cfg.Iters >= 40 && segIt >= segLen/4 && it%10 == 0 {
-			snapshot()
+			snapshot(it)
 		}
-		if logw != nil && (it%25 == 0 || it == cfg.Iters-1) {
-			fmt.Fprintf(logw, "iter %4d  attack %.4f  ganG %.4f  ganD %.4f  p(target) %.3f  best %.2f\n",
-				it, attackLoss, lossG, lossD, prob, bestScore)
+		if segSpan.Enabled() {
+			// The ink and gradient summaries only exist for the journal;
+			// compute them under the enabled check so a nil trace stays free.
+			inkMean, inkFrac := inkStats(masked, mask)
+			segSpan.Iter(obs.IterStats{
+				Method: "ours", It: it, Seg: curSeg, Final: it == cfg.Iters-1,
+				Attack: attackLoss, Alpha: cfg.Alpha, Weighted: cfg.Alpha * attackLoss,
+				GanG: lossG, GanD: lossD, Total: lossG + cfg.Alpha*attackLoss,
+				PTarget: prob, GradNorm: dPatch.L2(), LR: curLR,
+				InkMean: inkMean, InkFrac: inkFrac, Best: bestScore,
+			})
 		}
 	}
-	snapshot()
+	snapshot(cfg.Iters - 1)
 	if bestPatch != nil {
 		return bestPatch, stats, nil
 	}
@@ -355,7 +422,7 @@ func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writ
 // shape-masked layer is optimized directly with Adam (no realism term).
 // It isolates the attack pipeline from the GAN balance and shows what the
 // α-weighted term alone can achieve.
-func TrainDirect(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writer) (*Patch, *TrainStats, error) {
+func TrainDirect(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, tr *obs.Trace) (*Patch, *TrainStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -364,21 +431,26 @@ func TrainDirect(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw i
 	if len(pools.static) == 0 {
 		return nil, nil, fmt.Errorf("attack: target never visible from training cameras")
 	}
+	root := tr.Span("train", obs.S("method", "direct"), obs.I("iters", cfg.Iters), obs.I64("seed", cfg.Seed))
+	defer root.End()
 	r := gan.PatchRes
 	mask := shapes.Mask(cfg.Shape, r, cfg.ShapeScale(), 0)
 	param := nn.NewParam("direct.patch", tensor.NewRandU(rng, 0.05, 0.45, 1, r, r))
-	opt := optim.NewAdam([]*nn.Param{param}, 0.05)
+	const directLR = 0.05
+	opt := optim.NewAdam([]*nn.Param{param}, directLR)
 	sampler := eot.NewSampler(cfg.Tricks)
 	stats := &TrainStats{}
 	verifyRng := rand.New(rand.NewSource(cfg.Seed + 777))
 	bestPatch := (*Patch)(nil)
 	bestScore := -1.0
-	snapshot := func() {
+	snapshot := func(it int) {
 		cand := &Patch{Gray: param.Value.Clone(), Mask: mask.Clone(), Cfg: cfg}
 		score := combinedVerify(det, cam, sc, cand, verifyRng)
-		if score > bestScore {
+		kept := score > bestScore
+		if kept {
 			bestScore, bestPatch = score, cand
 		}
+		root.Verify(obs.VerifyStats{It: it, Score: score, Best: bestScore, Kept: kept})
 	}
 
 	for it := 0; it < cfg.Iters; it++ {
@@ -391,7 +463,7 @@ func TrainDirect(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw i
 		if err != nil {
 			return nil, nil, err
 		}
-		attackLoss, dTex, prob, err := forwardFrames(det, sc.Ground, decaled, window, sampler, rng, sc, cfg.TargetClass)
+		attackLoss, dTex, prob, err := forwardFrames(det, sc.Ground, decaled, window, sampler, rng, sc, cfg.TargetClass, root, it)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -407,13 +479,19 @@ func TrainDirect(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw i
 		stats.TargetProb = append(stats.TargetProb, prob)
 		stats.GradNorm = append(stats.GradNorm, dRaw.L2())
 		if cfg.Iters >= 40 && it >= cfg.Iters/4 && it%20 == 0 {
-			snapshot()
+			snapshot(it)
 		}
-		if logw != nil && (it%25 == 0 || it == cfg.Iters-1) {
-			fmt.Fprintf(logw, "direct iter %4d  attack %.4f  p(target) %.3f  |g| %.4g\n", it, attackLoss, prob, dRaw.L2())
+		if root.Enabled() {
+			inkMean, inkFrac := inkStats(masked, mask)
+			root.Iter(obs.IterStats{
+				Method: "direct", It: it, Seg: 0, Final: it == cfg.Iters-1,
+				Attack: attackLoss, Alpha: 1, Weighted: attackLoss, Total: attackLoss,
+				PTarget: prob, GradNorm: dRaw.L2(), LR: directLR,
+				InkMean: inkMean, InkFrac: inkFrac, Best: bestScore,
+			})
 		}
 	}
-	snapshot()
+	snapshot(cfg.Iters - 1)
 	if bestPatch != nil {
 		return bestPatch, stats, nil
 	}
@@ -446,7 +524,7 @@ func stripeInit(rng *rand.Rand, r int) *tensor.Tensor {
 // TrainBaseline implements [34] (Sava et al.) as the paper describes it:
 // a colored patch optimized directly with Adam under a rich EOT set, on
 // static frames (single-frame attack), with no GAN shape constraint.
-func TrainBaseline(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw io.Writer) (*Patch, *TrainStats, error) {
+func TrainBaseline(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, tr *obs.Trace) (*Patch, *TrainStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -455,20 +533,25 @@ func TrainBaseline(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw
 	if len(pools.static) == 0 {
 		return nil, nil, fmt.Errorf("attack: target never visible from training cameras")
 	}
+	root := tr.Span("train", obs.S("method", "baseline"), obs.I("iters", cfg.Iters), obs.I64("seed", cfg.Seed))
+	defer root.End()
 	r := gan.PatchRes
 	param := nn.NewParam("baseline.patch", tensor.NewRandU(rng, 0.25, 0.75, 3, r, r))
-	opt := optim.NewAdam([]*nn.Param{param}, 0.03)
+	const baselineLR = 0.03
+	opt := optim.NewAdam([]*nn.Param{param}, baselineLR)
 	sampler := eot.NewSampler(eot.AllTricks()) // "they utilized many EOT techniques"
 	stats := &TrainStats{}
 	verifyRng := rand.New(rand.NewSource(cfg.Seed + 777))
 	bestPatch := (*Patch)(nil)
 	bestScore := -1.0
-	snapshot := func() {
+	snapshot := func(it int) {
 		cand := &Patch{RGB: param.Value.Clone(), Cfg: cfg}
 		score := combinedVerify(det, cam, sc, cand, verifyRng)
-		if score > bestScore {
+		kept := score > bestScore
+		if kept {
 			bestScore, bestPatch = score, cand
 		}
+		root.Verify(obs.VerifyStats{It: it, Score: score, Best: bestScore, Kept: kept})
 	}
 
 	for it := 0; it < cfg.Iters; it++ {
@@ -480,7 +563,7 @@ func TrainBaseline(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw
 		if err != nil {
 			return nil, nil, err
 		}
-		attackLoss, dTex, prob, err := forwardFrames(det, sc.Ground, decaled, window, sampler, rng, sc, cfg.TargetClass)
+		attackLoss, dTex, prob, err := forwardFrames(det, sc.Ground, decaled, window, sampler, rng, sc, cfg.TargetClass, root, it)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -494,13 +577,19 @@ func TrainBaseline(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, logw
 		stats.AttackLoss = append(stats.AttackLoss, attackLoss)
 		stats.TargetProb = append(stats.TargetProb, prob)
 		if cfg.Iters >= 40 && it >= cfg.Iters/4 && it%20 == 0 {
-			snapshot()
+			snapshot(it)
 		}
-		if logw != nil && (it%25 == 0 || it == cfg.Iters-1) {
-			fmt.Fprintf(logw, "baseline iter %4d  attack %.4f  p(target) %.3f\n", it, attackLoss, prob)
+		if root.Enabled() {
+			inkMean, inkFrac := inkStats(layerRaw, nil)
+			root.Iter(obs.IterStats{
+				Method: "baseline", It: it, Seg: 0, Final: it == cfg.Iters-1,
+				Attack: attackLoss, Alpha: 1, Weighted: attackLoss, Total: attackLoss,
+				PTarget: prob, GradNorm: param.Grad.L2(), LR: baselineLR,
+				InkMean: inkMean, InkFrac: inkFrac, Best: bestScore,
+			})
 		}
 	}
-	snapshot()
+	snapshot(cfg.Iters - 1)
 	if bestPatch != nil {
 		return bestPatch, stats, nil
 	}

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"roadtrojan/internal/attack"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/scene"
 	"roadtrojan/internal/yolo"
 )
@@ -32,12 +33,12 @@ func DefaultConfig() Config { return attack.DefaultConfig() }
 
 // Train runs the GAN-based monochrome decal attack (Sec. III).
 func Train(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, log io.Writer) (*Patch, *TrainStats, error) {
-	return attack.Train(det, cam, sc, cfg, log)
+	return attack.Train(det, cam, sc, cfg, obs.TextTrace(log))
 }
 
 // TrainBaseline runs the colored EOT baseline [34].
 func TrainBaseline(det *yolo.Model, cam scene.Camera, sc Scene, cfg Config, log io.Writer) (*Patch, *TrainStats, error) {
-	return attack.TrainBaseline(det, cam, sc, cfg, log)
+	return attack.TrainBaseline(det, cam, sc, cfg, obs.TextTrace(log))
 }
 
 // Placements lays N decals around the target (Fig. 6).

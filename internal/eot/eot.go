@@ -129,9 +129,29 @@ type stage interface {
 	Backward(d *tensor.Tensor) *tensor.Tensor
 }
 
+// Params records the transform parameters θ drawn for one chain, at their
+// identity values for tricks outside the active set. They exist so the
+// observability layer can journal the EOT distribution actually seen during
+// training (Table IV debugging: which draws break convergence).
+type Params struct {
+	Resize   float64 // uniform scale factor (1 = none)
+	Rotation float64 // radians (0 = none)
+	Bright   float64 // multiplicative brightness (1 = none)
+	Gamma    float64 // gamma exponent (1 = none)
+	Persp    float64 // mean absolute corner displacement in px (0 = none)
+}
+
+// IdentityParams is θ for the empty transform chain.
+func IdentityParams() Params {
+	return Params{Resize: 1, Rotation: 0, Bright: 1, Gamma: 1, Persp: 0}
+}
+
 // Applied is one sampled transform chain A(·; θ). Forward/Backward must be
 // called in matched pairs.
 type Applied struct {
+	// Params are the drawn transform parameters for this chain.
+	Params Params
+
 	stages []stage
 	// invGeo maps *input* scene coordinates to *output* coordinates (the
 	// inverse of the warp's output→input homography); identity when the
@@ -162,6 +182,7 @@ func (sm *Sampler) Sample(rng *rand.Rand, h, w int) *Applied {
 	r := sm.Ranges
 	uni := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
 	cx, cy := float64(w)/2, float64(h)/2
+	params := IdentityParams()
 
 	// Compose all geometric tricks into a single warp (one resampling pass
 	// preserves more signal than chained warps).
@@ -169,12 +190,14 @@ func (sm *Sampler) Sample(rng *rand.Rand, h, w int) *Applied {
 	haveGeo := false
 	if sm.Tricks.Has(Resize) {
 		s := uni(r.ResizeMin, r.ResizeMax)
+		params.Resize = s
 		// Output→input mapping needs the inverse scale about the center.
 		geo = geo.Mul(imaging.Translate(cx, cy).Mul(imaging.ScaleXY(1/s, 1/s)).Mul(imaging.Translate(-cx, -cy)))
 		haveGeo = true
 	}
 	if sm.Tricks.Has(Rotation) {
 		theta := uni(-r.RotationMaxRad, r.RotationMaxRad)
+		params.Rotation = theta
 		geo = geo.Mul(imaging.RotateAbout(-theta, cx, cy))
 		haveGeo = true
 	}
@@ -183,10 +206,14 @@ func (sm *Sampler) Sample(rng *rand.Rand, h, w int) *Applied {
 		jit := func() float64 { return uni(-j, j) * float64(w) }
 		src := [4]imaging.Point{{X: 0, Y: 0}, {X: float64(w), Y: 0}, {X: float64(w), Y: float64(h)}, {X: 0, Y: float64(h)}}
 		dst := src
+		disp := 0.0
 		for i := range dst {
-			dst[i].X += jit()
-			dst[i].Y += jit()
+			dx, dy := jit(), jit()
+			dst[i].X += dx
+			dst[i].Y += dy
+			disp += math.Abs(dx) + math.Abs(dy)
 		}
+		params.Persp = disp / 8
 		// Output pixel (from dst quad) → input pixel (src quad).
 		hmg, err := imaging.QuadToQuad(dst, src)
 		if err == nil {
@@ -194,7 +221,7 @@ func (sm *Sampler) Sample(rng *rand.Rand, h, w int) *Applied {
 			haveGeo = true
 		}
 	}
-	applied := &Applied{imgH: h, imgW: w, invGeo: imaging.Identity()}
+	applied := &Applied{Params: params, imgH: h, imgW: w, invGeo: imaging.Identity()}
 	if haveGeo {
 		wp := imaging.NewWarp(geo, h, w, 0)
 		wp.ClampEdges = true
@@ -206,10 +233,14 @@ func (sm *Sampler) Sample(rng *rand.Rand, h, w int) *Applied {
 		}
 	}
 	if sm.Tricks.Has(Brightness) {
-		st = append(st, imaging.NewBrightness(uni(r.BrightnessMin, r.BrightnessMax)))
+		b := uni(r.BrightnessMin, r.BrightnessMax)
+		applied.Params.Bright = b
+		st = append(st, imaging.NewBrightness(b))
 	}
 	if sm.Tricks.Has(Gamma) {
-		st = append(st, imaging.NewGamma(uni(r.GammaMin, r.GammaMax)))
+		gm := uni(r.GammaMin, r.GammaMax)
+		applied.Params.Gamma = gm
+		st = append(st, imaging.NewGamma(gm))
 	}
 	st = append(st, imaging.NewClampUnit())
 	applied.stages = st

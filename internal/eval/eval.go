@@ -11,6 +11,7 @@ import (
 
 	"roadtrojan/internal/attack"
 	"roadtrojan/internal/metrics"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/physical"
 	"roadtrojan/internal/scene"
 	"roadtrojan/internal/yolo"
@@ -85,6 +86,9 @@ type Job struct {
 	Target scene.Class
 	Ch     scene.Challenge
 	Cond   Condition
+	// Trace receives per-run eval records (nil = no tracing). It is not
+	// part of the job's cache identity: tracing never changes results.
+	Trace *obs.Trace
 }
 
 // Detail is a scenario's aggregate score plus each run's per-frame results
@@ -105,6 +109,9 @@ type JobFunc func(Job) (Detail, error)
 // them.
 func RunJob(j Job) (Detail, error) {
 	j.Det.SetTraining(false)
+	sp := j.Trace.Span("eval",
+		obs.S("challenge", j.Ch.Name), obs.I("runs", j.Cond.Runs), obs.I64("seed", j.Cond.Seed))
+	defer sp.End()
 	d := Detail{Runs: make([][]metrics.FrameResult, 0, j.Cond.Runs)}
 	var scores []metrics.Score
 	for run := 0; run < j.Cond.Runs; run++ {
@@ -124,9 +131,18 @@ func RunJob(j Job) (Detail, error) {
 		}
 		results := FrameResults(j.Det, frames, j.Cond.Channel, rng, j.Cond.MatchIoU)
 		d.Runs = append(d.Runs, results)
-		scores = append(scores, metrics.Evaluate(results, j.Target))
+		s := metrics.Evaluate(results, j.Target)
+		scores = append(scores, s)
+		sp.EvalRun(obs.EvalRunStats{
+			Run: run, PWC: s.PWC, CWC: s.CWC,
+			Frames: s.Frames, WrongRun: s.WrongRun, DetectRate: s.DetectRate,
+		})
 	}
 	d.Score = metrics.Average(scores)
+	sp.EvalScore(obs.EvalScoreStats{
+		PWC: d.Score.PWC, CWC: d.Score.CWC, Frames: d.Score.Frames,
+		WrongRun: d.Score.WrongRun, DetectRate: d.Score.DetectRate, Runs: j.Cond.Runs,
+	})
 	return d, nil
 }
 

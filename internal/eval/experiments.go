@@ -12,6 +12,7 @@ import (
 	"roadtrojan/internal/eot"
 	"roadtrojan/internal/imaging"
 	"roadtrojan/internal/metrics"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/physical"
 	"roadtrojan/internal/scene"
 	"roadtrojan/internal/shapes"
@@ -30,10 +31,22 @@ type Env struct {
 	Runs  int
 	Seed  int64
 	Log   io.Writer
+	// Trace receives structured run events; when nil, training falls back
+	// to rendering the legacy Log lines through a text trace.
+	Trace *obs.Trace
 
 	roadScene attack.Scene
 	simScene  attack.Scene
 	cache     map[string]*attack.Patch
+}
+
+// trace returns the structured trace training should use: the explicit one
+// when set, otherwise a text adapter over Log (nil Log ⇒ disabled trace).
+func (e *Env) trace() *obs.Trace {
+	if e.Trace != nil {
+		return e.Trace
+	}
+	return obs.TextTrace(e.Log)
 }
 
 // NewEnv prepares an experiment environment around a trained detector.
@@ -118,9 +131,9 @@ func (e *Env) patchFor(m method, env string, cfg attack.Config) (*attack.Patch, 
 		)
 		switch m {
 		case baseline:
-			p, _, err = attack.TrainBaseline(e.Det, e.Cam, sc, c, e.Log)
+			p, _, err = attack.TrainBaseline(e.Det, e.Cam, sc, c, e.trace())
 		default:
-			p, _, err = attack.Train(e.Det, e.Cam, sc, c, e.Log)
+			p, _, err = attack.Train(e.Det, e.Cam, sc, c, e.trace())
 		}
 		if err != nil {
 			return nil, err
@@ -548,7 +561,7 @@ func (e *Env) AblationGANFree() (Table, error) {
 		if e.Log != nil {
 			fmt.Fprintf(e.Log, "== training patch %s\n", key)
 		}
-		pDirect, _, err = attack.TrainDirect(e.Det, e.Cam, sc, cfg, e.Log)
+		pDirect, _, err = attack.TrainDirect(e.Det, e.Cam, sc, cfg, e.trace())
 		if err != nil {
 			return t, err
 		}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"roadtrojan/internal/nn"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/tensor"
 )
 
@@ -157,6 +158,16 @@ func DiscriminatorStep(d *Discriminator, real, fake *tensor.Tensor) float64 {
 	lossF, gradF := BCEWithLogits(logitsF, 0)
 	d.Backward(gradF)
 	return lossR + lossF
+}
+
+// TracedDiscriminatorStep is DiscriminatorStep plus a "gan_d" record on sp
+// (free when sp is nil). The attack trainer uses it so the discriminator's
+// own update cadence — it only steps while its loss is above the
+// saturation gate — is visible in run journals.
+func TracedDiscriminatorStep(sp *obs.Span, it int, d *Discriminator, real, fake *tensor.Tensor) float64 {
+	loss := DiscriminatorStep(d, real, fake)
+	sp.GanD(obs.GanDStep{It: it, Loss: loss})
+	return loss
 }
 
 // GeneratorAdversarialGrad computes the generator's GAN objective — make

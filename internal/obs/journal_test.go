@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// emitFixture drives one representative record sequence into a trace.
+func emitFixture(tr *Trace) {
+	root := tr.Span("train", S("method", "ours"), I("iters", 5))
+	root.Iter(IterStats{
+		Method: "ours", It: 0, Seg: 0,
+		Attack: 12.5, Alpha: 10, Weighted: 125, GanG: 0.7, GanD: 1.386,
+		Total: 125.7, PTarget: 0.01, GradNorm: 3.25, LR: 0.002,
+		InkMean: 0.5, InkFrac: 0.5, Best: -1,
+	})
+	root.EOT(EOTDraw{It: 0, Frame: 1, Resize: 1.05, Rotation: -0.02, Bright: 1, Gamma: 1, Persp: 2.5})
+	root.Verify(VerifyStats{It: 0, Score: 0.25, Best: 0.25, Kept: true})
+	root.End()
+	ev := tr.Span("eval")
+	ev.EvalRun(EvalRunStats{Run: 0, PWC: 0.8, CWC: true, Frames: 24, WrongRun: 1, DetectRate: 0.96})
+	ev.EvalScore(EvalScoreStats{PWC: 0.8, CWC: true, Frames: 24, WrongRun: 1, DetectRate: 0.96, Runs: 1})
+	ev.End()
+	_ = tr.Flush()
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJournal(&buf), NewLogicalClock())
+	emitFixture(tr)
+
+	if !strings.HasPrefix(buf.String(), fmt.Sprintf("{\"k\":\"journal\",\"schema\":%d}\n", SchemaVersion)) {
+		t.Fatalf("missing or malformed header:\n%s", buf.String())
+	}
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	kinds := make([]string, len(recs))
+	for i := range recs {
+		kinds[i] = recs[i].Kind
+	}
+	want := []string{"span_start", "iter", "eot", "verify", "span_end", "span_start", "eval_run", "eval_score", "span_end"}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	iter := recs[1]
+	if iter.Span != "train#0" {
+		t.Fatalf("iter span = %q", iter.Span)
+	}
+	if iter.Float("attack") != 12.5 || iter.Int("it") != 0 || iter.Str("method") != "ours" {
+		t.Fatalf("iter fields wrong: %+v", iter.Fields)
+	}
+	if iter.Float("best") != -1 {
+		t.Fatalf("best = %v, want -1", iter.Float("best"))
+	}
+	score := recs[7]
+	if score.Float("pwc") != 0.8 || score.Int("cwc") != 1 || score.Int("runs") != 1 {
+		t.Fatalf("eval_score fields wrong: %+v", score.Fields)
+	}
+}
+
+func TestJournalByteStable(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		tr := New(NewJournal(&buf), NewLogicalClock())
+		emitFixture(tr)
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical record sequences produced different journal bytes:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestJournalNonFiniteFloats(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJournal(&buf), NewLogicalClock())
+	sp := tr.Span("train")
+	sp.Iter(IterStats{Method: "direct", Attack: math.NaN(), GradNorm: math.Inf(1), Total: math.Inf(-1)})
+	sp.End()
+	_ = tr.Flush()
+
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("journal with non-finite floats failed to parse: %v", err)
+	}
+	iter := recs[1]
+	if !math.IsNaN(iter.Float("attack")) {
+		t.Fatalf("attack = %v, want NaN", iter.Float("attack"))
+	}
+	if !math.IsInf(iter.Float("grad_norm"), 1) || !math.IsInf(iter.Float("total"), -1) {
+		t.Fatalf("inf fields wrong: %v %v", iter.Float("grad_norm"), iter.Float("total"))
+	}
+}
+
+func TestJournalStringEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJournal(&buf), NewLogicalClock())
+	sp := tr.Span("odd")
+	sp.Event("span_start", S("name", "has\"quote\\back\nnew\ttab\x01ctl"))
+	sp.End()
+	_ = tr.Flush()
+	recs, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("escaped journal failed to parse: %v", err)
+	}
+	if !strings.Contains(buf.String(), "\\u0001") {
+		t.Fatalf("control byte not escaped:\n%s", buf.String())
+	}
+	if got := recs[1].Str("name"); got != "has\"quote\\back\nnew\ttab\x01ctl" {
+		t.Fatalf("string did not round-trip: %q", got)
+	}
+}
+
+func TestReadJournalRejections(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "empty journal"},
+		{"no header", `{"k":"iter","t":1}` + "\n", "want header"},
+		{"wrong schema", `{"k":"journal","schema":999}` + "\n", "schema"},
+		{"bad json", "{\"k\":\"journal\",\"schema\":1}\nnot json\n", "line 2"},
+		{"unknown kind", "{\"k\":\"journal\",\"schema\":1}\n{\"k\":\"mystery\",\"t\":1}\n", "unknown record kind"},
+		{"missing kind", "{\"k\":\"journal\",\"schema\":1}\n{\"t\":1}\n", "missing record kind"},
+		{"missing tick", "{\"k\":\"journal\",\"schema\":1}\n{\"k\":\"iter\"}\n", "missing tick"},
+		{"dup header", "{\"k\":\"journal\",\"schema\":1}\n{\"k\":\"journal\",\"schema\":1}\n", "duplicate header"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJournal(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ReadJournal accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestJournalFileLifecycle(t *testing.T) {
+	path := t.TempDir() + "/run.jsonl"
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(j, NewLogicalClock())
+	emitFixture(tr)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadJournal(f)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if len(recs) != 9 {
+		t.Fatalf("got %d records, want 9", len(recs))
+	}
+}

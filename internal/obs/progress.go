@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"roadtrojan/internal/telemetry"
+)
+
+// ProgressState is the live snapshot served at /progress: the most recent
+// value of each headline quantity, plus totals. It is a monitoring view, not
+// a journal — history lives in the JSONL file.
+type ProgressState struct {
+	Iter       int     `json:"iter"`
+	Segment    int     `json:"segment"`
+	Method     string  `json:"method"`
+	AttackLoss float64 `json:"attack_loss"`
+	GanG       float64 `json:"gan_g"`
+	GanD       float64 `json:"gan_d"`
+	Total      float64 `json:"total"`
+	PTarget    float64 `json:"p_target"`
+	GradNorm   float64 `json:"grad_norm"`
+	Best       float64 `json:"best"`
+	InkMean    float64 `json:"ink_mean"`
+	Verifies   int     `json:"verifies"`
+	EvalRuns   int     `json:"eval_runs"`
+	LastPWC    float64 `json:"last_pwc"`
+	LastCWC    bool    `json:"last_cwc"`
+	Records    int64   `json:"records"`
+}
+
+// ProgressSink maintains ProgressState from the record stream and serves it
+// over HTTP together with /metrics and (always, since a progress listener is
+// an explicit debugging opt-in) /debug/pprof.
+type ProgressSink struct {
+	mu    sync.Mutex
+	state ProgressState
+	reg   *telemetry.Registry
+}
+
+// NewProgressSink returns an empty progress view. reg may be nil; then
+// /metrics serves an empty registry.
+func NewProgressSink(reg *telemetry.Registry) *ProgressSink {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &ProgressSink{reg: reg}
+}
+
+// Registry returns the registry /metrics serves, for composing with a
+// TelemetrySink feeding the same registry.
+func (p *ProgressSink) Registry() *telemetry.Registry { return p.reg }
+
+// Emit updates the live snapshot.
+func (p *ProgressSink) Emit(r *Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.state.Records++
+	switch r.Kind {
+	case "iter":
+		p.state.Iter = int(r.Int("it"))
+		p.state.Segment = int(r.Int("seg"))
+		p.state.Method = r.Str("method")
+		p.state.AttackLoss = r.Float("attack")
+		p.state.GanG = r.Float("gan_g")
+		p.state.GanD = r.Float("gan_d")
+		p.state.Total = r.Float("total")
+		p.state.PTarget = r.Float("p_target")
+		p.state.GradNorm = r.Float("grad_norm")
+		p.state.Best = r.Float("best")
+		p.state.InkMean = r.Float("ink_mean")
+	case "verify":
+		p.state.Verifies++
+		p.state.Best = r.Float("best")
+	case "eval_run":
+		p.state.EvalRuns++
+		p.state.LastPWC = r.Float("pwc")
+		p.state.LastCWC = r.Int("cwc") == 1
+	}
+}
+
+// Flush is a no-op: the snapshot is always current.
+func (p *ProgressSink) Flush() error { return nil }
+
+// Snapshot returns a copy of the current state.
+func (p *ProgressSink) Snapshot() ProgressState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// Handler serves the live-introspection endpoints:
+//
+//	/progress     current ProgressState as JSON
+//	/metrics      the telemetry registry (Prometheus text format)
+//	/debug/pprof  the standard Go profiler index and profiles
+func (p *ProgressSink) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := p.Snapshot()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	mux.Handle("/metrics", p.reg.Handler())
+	RegisterPprof(mux)
+	return mux
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof. Mounting is explicit (rather than the package's
+// DefaultServeMux side effect) so servers only expose the profiler when
+// asked to.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeProgress binds addr synchronously (so a bad address fails fast),
+// then serves the progress endpoints in a goroutine. The returned server's
+// Close stops it. Intended for CLI -progress flags.
+func ServeProgress(addr string, p *ProgressSink) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: progress listen: %w", err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: p.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

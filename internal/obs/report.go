@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file turns a parsed journal back into something a human can read:
+// per-restart-segment summary tables with ASCII loss-curve sparklines, the
+// verification history, and the final PWC/CWC evaluation. cmd/runreport is a
+// thin shell around BuildReport + Render.
+
+// SegmentSummary aggregates the iter records of one restart segment.
+type SegmentSummary struct {
+	Method    string
+	Seg       int
+	FirstIt   int
+	LastIt    int
+	Iters     int
+	FirstLoss float64
+	LastLoss  float64
+	MinLoss   float64
+	MeanLoss  float64
+	LastProb  float64
+	BestScore float64   // best verify score reached by the segment's end
+	Losses    []float64 // attack-loss curve, iteration order
+}
+
+// VerifySummary aggregates verify records.
+type VerifySummary struct {
+	Count  int
+	Best   float64
+	BestIt int
+	Kept   int
+}
+
+// EvalSummary is the final eval_score record plus per-run PWC values.
+type EvalSummary struct {
+	Present    bool
+	PWC        float64
+	CWC        bool
+	Frames     int
+	WrongRun   int
+	DetectRate float64
+	Runs       int
+	RunPWC     []float64
+}
+
+// Report is the digest of one journal.
+type Report struct {
+	Records  int
+	Segments []SegmentSummary
+	Verify   VerifySummary
+	Eval     EvalSummary
+	Epochs   int // detector-training epoch records, if the journal has any
+}
+
+// BuildReport folds journal records into a Report. Records outside the
+// kinds it understands are counted but otherwise ignored, so journals from
+// mixed pipelines (train + eval in one file) digest cleanly.
+func BuildReport(recs []JournalRecord) *Report {
+	rep := &Report{Records: len(recs)}
+	segIdx := map[[2]interface{}]int{} // (method, seg) -> index in rep.Segments
+	for i := range recs {
+		r := &recs[i]
+		switch r.Kind {
+		case "iter":
+			key := [2]interface{}{r.Str("method"), int(r.Int("seg"))}
+			idx, ok := segIdx[key]
+			if !ok {
+				idx = len(rep.Segments)
+				segIdx[key] = idx
+				rep.Segments = append(rep.Segments, SegmentSummary{
+					Method:  r.Str("method"),
+					Seg:     int(r.Int("seg")),
+					FirstIt: int(r.Int("it")),
+					MinLoss: math.Inf(1),
+				})
+			}
+			s := &rep.Segments[idx]
+			loss := r.Float("attack")
+			s.LastIt = int(r.Int("it"))
+			s.Iters++
+			if s.Iters == 1 {
+				s.FirstLoss = loss
+			}
+			s.LastLoss = loss
+			if loss < s.MinLoss {
+				s.MinLoss = loss
+			}
+			s.MeanLoss += loss
+			s.LastProb = r.Float("p_target")
+			s.BestScore = r.Float("best")
+			s.Losses = append(s.Losses, loss)
+		case "verify":
+			rep.Verify.Count++
+			if r.Int("kept") == 1 {
+				rep.Verify.Kept++
+			}
+			if sc := r.Float("score"); rep.Verify.Count == 1 || sc > rep.Verify.Best {
+				rep.Verify.Best = sc
+				rep.Verify.BestIt = int(r.Int("it"))
+			}
+		case "eval_run":
+			rep.Eval.RunPWC = append(rep.Eval.RunPWC, r.Float("pwc"))
+		case "eval_score":
+			rep.Eval.Present = true
+			rep.Eval.PWC = r.Float("pwc")
+			rep.Eval.CWC = r.Int("cwc") == 1
+			rep.Eval.Frames = int(r.Int("frames"))
+			rep.Eval.WrongRun = int(r.Int("wrong_run"))
+			rep.Eval.DetectRate = r.Float("detect_rate")
+			rep.Eval.Runs = int(r.Int("runs"))
+		case "epoch":
+			rep.Epochs++
+		}
+	}
+	for i := range rep.Segments {
+		if rep.Segments[i].Iters > 0 {
+			rep.Segments[i].MeanLoss /= float64(rep.Segments[i].Iters)
+		}
+	}
+	sort.SliceStable(rep.Segments, func(a, b int) bool {
+		sa, sb := &rep.Segments[a], &rep.Segments[b]
+		if sa.Method != sb.Method {
+			return sa.Method < sb.Method
+		}
+		return sa.Seg < sb.Seg
+	})
+	return rep
+}
+
+// sparkRunes are the eight block heights of an ASCII(-art) sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a fixed-width block-character curve. Values are
+// bucketed by mean when len(vals) > width; a flat (or single-value) series
+// renders at mid height so it is visibly "present but flat".
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(vals) {
+		width = len(vals)
+	}
+	buckets := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(vals) / width
+		hi := (i + 1) * len(vals) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range vals[lo:hi] {
+			sum += v
+		}
+		buckets[i] = sum / float64(hi-lo)
+	}
+	min, max := buckets[0], buckets[0]
+	for _, v := range buckets[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	span := max - min
+	for _, v := range buckets {
+		idx := len(sparkRunes) / 2
+		if span > 0 {
+			idx = int((v - min) / span * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// sparkWidth is the sparkline column width in Render.
+const sparkWidth = 48
+
+// Render writes the report as aligned text tables.
+func (rep *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "journal: schema %d, %d records\n", SchemaVersion, rep.Records)
+	if len(rep.Segments) > 0 {
+		fmt.Fprintf(w, "\nrestart segments\n")
+		fmt.Fprintf(w, "%-9s %4s %11s %12s %12s %12s %12s %10s %6s\n",
+			"method", "seg", "iters", "first", "last", "min", "mean", "p(target)", "best")
+		for i := range rep.Segments {
+			s := &rep.Segments[i]
+			fmt.Fprintf(w, "%-9s %4d %5d..%-5d %12.4f %12.4f %12.4f %12.4f %10.3f %6.2f\n",
+				s.Method, s.Seg, s.FirstIt, s.LastIt, s.FirstLoss, s.LastLoss, s.MinLoss, s.MeanLoss, s.LastProb, s.BestScore)
+		}
+		fmt.Fprintf(w, "\nattack-loss curves\n")
+		for i := range rep.Segments {
+			s := &rep.Segments[i]
+			fmt.Fprintf(w, "%-9s seg %d  %s\n", s.Method, s.Seg, Sparkline(s.Losses, sparkWidth))
+		}
+	}
+	if rep.Verify.Count > 0 {
+		fmt.Fprintf(w, "\nverification: %d snapshots, %d kept, best score %.3f at iter %d\n",
+			rep.Verify.Count, rep.Verify.Kept, rep.Verify.Best, rep.Verify.BestIt)
+	}
+	if len(rep.Eval.RunPWC) > 0 {
+		fmt.Fprintf(w, "\nper-run PWC  %s\n", Sparkline(rep.Eval.RunPWC, sparkWidth))
+		for i, p := range rep.Eval.RunPWC {
+			fmt.Fprintf(w, "  run %2d  PWC %.3f\n", i, p)
+		}
+	}
+	if rep.Eval.Present {
+		cwc := "no"
+		if rep.Eval.CWC {
+			cwc = "yes"
+		}
+		fmt.Fprintf(w, "\nevaluation: PWC %.3f  CWC %s  frames %d  wrong-run %d  detect %.3f  (%d runs)\n",
+			rep.Eval.PWC, cwc, rep.Eval.Frames, rep.Eval.WrongRun, rep.Eval.DetectRate, rep.Eval.Runs)
+	}
+	if rep.Epochs > 0 {
+		fmt.Fprintf(w, "\ndetector training: %d epochs\n", rep.Epochs)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func loadSampleReport(t *testing.T) (*Report, string) {
+	t.Helper()
+	f, err := os.Open("testdata/sample.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadJournal(f)
+	if err != nil {
+		t.Fatalf("sample journal invalid: %v", err)
+	}
+	rep := BuildReport(recs)
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	return rep, buf.String()
+}
+
+func TestBuildReport(t *testing.T) {
+	rep, _ := loadSampleReport(t)
+	if len(rep.Segments) != 2 {
+		t.Fatalf("got %d segments, want 2", len(rep.Segments))
+	}
+	s0, s1 := rep.Segments[0], rep.Segments[1]
+	if s0.Seg != 0 || s0.Iters != 3 || s0.FirstIt != 0 || s0.LastIt != 2 {
+		t.Fatalf("segment 0 wrong: %+v", s0)
+	}
+	if s0.FirstLoss != 12.5 || s0.LastLoss != 5.5 || s0.MinLoss != 5.5 {
+		t.Fatalf("segment 0 losses wrong: %+v", s0)
+	}
+	if s1.Seg != 1 || s1.MinLoss != 2.8 || s1.LastProb != 0.35 {
+		t.Fatalf("segment 1 wrong: %+v", s1)
+	}
+	if rep.Verify.Count != 2 || rep.Verify.Best != 0.62 || rep.Verify.BestIt != 5 || rep.Verify.Kept != 2 {
+		t.Fatalf("verify summary wrong: %+v", rep.Verify)
+	}
+	if !rep.Eval.Present || rep.Eval.PWC != 0.825 || !rep.Eval.CWC || rep.Eval.Runs != 2 {
+		t.Fatalf("eval summary wrong: %+v", rep.Eval)
+	}
+	if len(rep.Eval.RunPWC) != 2 {
+		t.Fatalf("per-run PWC missing: %+v", rep.Eval.RunPWC)
+	}
+}
+
+// TestReportGolden pins the rendered report byte-for-byte. Regenerate with
+// ROADTROJAN_UPDATE_GOLDEN=1 go test ./internal/obs -run Golden
+func TestReportGolden(t *testing.T) {
+	_, got := loadSampleReport(t)
+	const golden = "testdata/sample.report.golden"
+	if os.Getenv("ROADTROJAN_UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	if Sparkline([]float64{1, 2, 3}, 0) != "" {
+		t.Fatal("zero width should render empty")
+	}
+	// A flat series renders at mid height, not blanks.
+	flat := Sparkline([]float64{2, 2, 2, 2}, 4)
+	if utf8.RuneCountInString(flat) != 4 {
+		t.Fatalf("flat sparkline width = %d, want 4", utf8.RuneCountInString(flat))
+	}
+	for _, r := range flat {
+		if r != sparkRunes[len(sparkRunes)/2] {
+			t.Fatalf("flat sparkline should be mid-height, got %q", flat)
+		}
+	}
+	// A monotone ramp starts at the lowest rune and ends at the highest.
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	runes := []rune(ramp)
+	if runes[0] != sparkRunes[0] || runes[len(runes)-1] != sparkRunes[len(sparkRunes)-1] {
+		t.Fatalf("ramp endpoints wrong: %q", ramp)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("ramp not monotone: %q", ramp)
+		}
+	}
+	// Downsampling keeps the requested width.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i % 37)
+	}
+	if w := utf8.RuneCountInString(Sparkline(long, 48)); w != 48 {
+		t.Fatalf("downsampled width = %d, want 48", w)
+	}
+	// Width beyond the data clamps to the data length.
+	if w := utf8.RuneCountInString(Sparkline([]float64{1, 2}, 48)); w != 2 {
+		t.Fatalf("short-series width = %d, want 2", w)
+	}
+}
+
+func TestRenderMentionsSegments(t *testing.T) {
+	_, out := loadSampleReport(t)
+	for _, want := range []string{"restart segments", "attack-loss curves", "PWC 0.825", "CWC yes", "best score 0.620 at iter 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"roadtrojan/internal/telemetry"
+)
+
+// attackLossBuckets cover the observed range of detector attack losses
+// (roughly 0.01 … 100 across methods and scenes), log-spaced.
+var attackLossBuckets = []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+
+// TelemetrySink folds structured records into a telemetry.Registry, so a
+// long-running process (servd, or attackgen with -progress) exposes training
+// and evaluation counters on the same Prometheus scrape endpoint as the
+// serving metrics.
+type TelemetrySink struct {
+	iters      *telemetry.Counter
+	evalRuns   *telemetry.Counter
+	verifies   *telemetry.Counter
+	spans      *telemetry.Counter
+	attackLoss *telemetry.Histogram
+	pTarget    *telemetry.Gauge
+	bestScore  *telemetry.Gauge
+	lastPWC    *telemetry.Gauge
+	gradNorm   *telemetry.Gauge
+}
+
+// NewTelemetrySink registers the obs metric families on reg.
+func NewTelemetrySink(reg *telemetry.Registry) *TelemetrySink {
+	if reg == nil {
+		return nil
+	}
+	return &TelemetrySink{
+		iters:      reg.Counter("obs_train_iterations_total", "Attack-trainer iterations observed.", nil),
+		evalRuns:   reg.Counter("obs_eval_runs_total", "Evaluation repetitions observed.", nil),
+		verifies:   reg.Counter("obs_verify_total", "Snapshot verifications observed.", nil),
+		spans:      reg.Counter("obs_spans_total", "Spans opened.", nil),
+		attackLoss: reg.Histogram("obs_attack_loss", "Per-iteration raw attack loss.", nil, attackLossBuckets),
+		pTarget:    reg.Gauge("obs_p_target", "Latest mean target-class probability.", nil),
+		bestScore:  reg.Gauge("obs_best_verify_score", "Best combined verify score so far.", nil),
+		lastPWC:    reg.Gauge("obs_last_pwc", "Most recent per-run PWC.", nil),
+		gradNorm:   reg.Gauge("obs_grad_norm", "Latest patch-layer gradient L2 norm.", nil),
+	}
+}
+
+// Emit folds one record into the registry.
+func (t *TelemetrySink) Emit(r *Record) {
+	switch r.Kind {
+	case "iter":
+		t.iters.Inc()
+		t.attackLoss.Observe(r.Float("attack"))
+		t.pTarget.Set(r.Float("p_target"))
+		t.bestScore.Set(r.Float("best"))
+		t.gradNorm.Set(r.Float("grad_norm"))
+	case "eval_run":
+		t.evalRuns.Inc()
+		t.lastPWC.Set(r.Float("pwc"))
+	case "verify":
+		t.verifies.Inc()
+		t.bestScore.Set(r.Float("best"))
+	case "span_start":
+		t.spans.Inc()
+	}
+}
+
+// Flush is a no-op: the registry is always current.
+func (t *TelemetrySink) Flush() error { return nil }

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TextSink reproduces the repository's historical free-form log lines from
+// structured records, so replacing the trainers' `logw io.Writer` parameters
+// with a *Trace leaves the default CLI output byte-for-byte unchanged. It
+// applies the same cadence the call sites used to (every 25th iteration plus
+// the final one) and ignores record kinds that never had a text form.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink wraps w; a nil writer yields a nil (dropped by Multi) sink.
+func NewTextSink(w io.Writer) *TextSink {
+	if w == nil {
+		return nil
+	}
+	return &TextSink{w: w}
+}
+
+// TextTrace is the adapter used by the public API and legacy call sites: a
+// trace whose only sink is the historical text log. A nil writer gives a nil
+// (disabled) trace, matching the old `logw == nil` behavior.
+func TextTrace(w io.Writer) *Trace {
+	return New(NewTextSink(w), NewLogicalClock())
+}
+
+// Emit renders the record kinds that historically had log lines.
+func (t *TextSink) Emit(r *Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch r.Kind {
+	case "iter":
+		it := int(r.Int("it"))
+		if it%25 != 0 && r.Int("final") == 0 {
+			return
+		}
+		switch r.Str("method") {
+		case "ours":
+			fmt.Fprintf(t.w, "iter %4d  attack %.4f  ganG %.4f  ganD %.4f  p(target) %.3f  best %.2f\n",
+				it, r.Float("attack"), r.Float("gan_g"), r.Float("gan_d"), r.Float("p_target"), r.Float("best"))
+		case "direct":
+			fmt.Fprintf(t.w, "direct iter %4d  attack %.4f  p(target) %.3f  |g| %.4g\n",
+				it, r.Float("attack"), r.Float("p_target"), r.Float("grad_norm"))
+		case "baseline":
+			fmt.Fprintf(t.w, "baseline iter %4d  attack %.4f  p(target) %.3f\n",
+				it, r.Float("attack"), r.Float("p_target"))
+		}
+	case "epoch":
+		fmt.Fprintf(t.w, "epoch %3d  loss %.4f\n", int(r.Int("epoch")), r.Float("loss"))
+	}
+}
+
+// Flush is a no-op: the sink writes through on every line.
+func (t *TextSink) Flush() error { return nil }

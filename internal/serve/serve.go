@@ -30,6 +30,7 @@ import (
 
 	"roadtrojan/internal/attack"
 	"roadtrojan/internal/eval"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/scene"
 	"roadtrojan/internal/telemetry"
 	"roadtrojan/internal/tensor"
@@ -51,6 +52,13 @@ type Config struct {
 	// Job evaluates one scenario. Nil means eval.RunJob; tests inject
 	// stubs to exercise queueing without rendering.
 	Job eval.JobFunc
+	// Trace receives one span per HTTP request (nil = no tracing). Serving
+	// spans should use a wall clock: obs.New(sink, obs.WallClock()).
+	Trace *obs.Trace
+	// EnablePprof mounts net/http/pprof under /debug/pprof on the service
+	// mux. Off by default: the profiler exposes internals and should only
+	// be reachable when explicitly requested (cmd/servd -pprof).
+	EnablePprof bool
 }
 
 // DefaultConfig returns the production defaults.
@@ -151,6 +159,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
 	mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.reg.Handler())
+	if s.cfg.EnablePprof {
+		obs.RegisterPprof(mux)
+	}
 	return mux
 }
 
@@ -201,8 +212,10 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		telemetry.Labels{"endpoint": endpoint}, nil)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		sp := s.cfg.Trace.Span("request", obs.S("endpoint", endpoint), obs.S("method", r.Method))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
+		sp.End(obs.I("code", sw.code))
 		hist.Observe(time.Since(start).Seconds())
 		s.reg.Counter("serve_requests_total", "requests by endpoint and status code",
 			telemetry.Labels{"endpoint": endpoint, "code": strconv.Itoa(sw.code)}).Inc()

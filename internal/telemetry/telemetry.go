@@ -33,9 +33,34 @@ func (l Labels) render() string {
 	sort.Strings(keys)
 	parts := make([]string, len(keys))
 	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s=%q", k, l[k])
+		parts[i] = k + `="` + escapeLabelValue(l[k]) + `"`
 	}
 	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeLabelValue applies the Prometheus text exposition escaping for
+// label values: backslash, double quote, and newline — and nothing else.
+// Go's %q is close but wrong: it escapes tabs, non-ASCII, and other control
+// bytes into sequences scrapers read literally.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // Counter is a monotonically increasing integer metric.
@@ -195,6 +220,13 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64)
 		if bounds == nil {
 			bounds = DefLatencyBuckets
 		}
+		// The exposition format mandates a final +Inf bucket carrying the
+		// total sample count; writeSeries appends it. Callers that include
+		// +Inf themselves would otherwise produce a duplicate le="+Inf"
+		// series, so trailing infinite bounds are dropped here.
+		for len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], 1) {
+			bounds = bounds[:len(bounds)-1]
+		}
 		s.hist = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
 	}
 	return s.hist
@@ -247,11 +279,12 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 // writeBucket emits one cumulative histogram bucket, splicing le into any
 // existing label set.
 func writeBucket(w io.Writer, name, labels, le string, v uint64) error {
+	leLabel := `le="` + escapeLabelValue(le) + `"`
 	if labels == "" {
-		_, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, v)
+		_, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, leLabel, v)
 		return err
 	}
-	inner := strings.TrimSuffix(labels, "}") + fmt.Sprintf(",le=%q}", le)
+	inner := strings.TrimSuffix(labels, "}") + "," + leLabel + "}"
 	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, inner, v)
 	return err
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -80,6 +81,89 @@ func TestHistogramLabelsGetLeSpliced(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), `lat_bucket{endpoint="detect",le="1"} 1`) {
 		t.Fatalf("bad labeled bucket:\n%s", sb.String())
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"plain", "detect", "detect"},
+		{"backslash", `C:\path`, `C:\\path`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"all three", "a\\b\"c\nd", `a\\b\"c\nd`},
+		// Only \ " \n are escaped in the exposition format: tabs and
+		// non-ASCII pass through verbatim (Go's %q would mangle both).
+		{"tab untouched", "a\tb", "a\tb"},
+		{"utf8 untouched", "héllo", "héllo"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := escapeLabelValue(tc.in); got != tc.want {
+				t.Fatalf("escapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+			r := NewRegistry()
+			r.Counter("m", "m", Labels{"v": tc.in}).Inc()
+			var sb strings.Builder
+			if err := r.WriteText(&sb); err != nil {
+				t.Fatal(err)
+			}
+			line := `m{v="` + tc.want + `"} 1`
+			if !strings.Contains(sb.String(), line) {
+				t.Fatalf("exposition missing %q:\n%s", line, sb.String())
+			}
+		})
+	}
+}
+
+func TestHistogramTrailingInfBoundDeduped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "l", nil, []float64{0.5, math.Inf(1)})
+	h.Observe(0.1)
+	h.Observe(2)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, `le="+Inf"`); got != 1 {
+		t.Fatalf("want exactly one +Inf bucket, got %d:\n%s", got, out)
+	}
+	for _, want := range []string{
+		`lat_bucket{le="0.5"} 1`,
+		`lat_bucket{le="+Inf"} 2`,
+		"lat_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramInfBucketCountsEverything(t *testing.T) {
+	// The +Inf bucket must equal the total sample count even when samples
+	// exceed every finite bound.
+	r := NewRegistry()
+	h := r.Histogram("lat2", "l", nil, []float64{0.1})
+	for i := 0; i < 5; i++ {
+		h.Observe(100)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat2_bucket{le="0.1"} 0`,
+		`lat2_bucket{le="+Inf"} 5`,
+		"lat2_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"roadtrojan/internal/nn"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/optim"
 	"roadtrojan/internal/scene"
 	"roadtrojan/internal/tensor"
@@ -25,6 +26,9 @@ type TrainConfig struct {
 	NoAugment bool
 	// Log receives one line per epoch when non-nil.
 	Log io.Writer
+	// Trace receives structured epoch records; when nil, Log is adapted
+	// through a text trace so the historical output is unchanged.
+	Trace *obs.Trace
 }
 
 // DefaultTrainConfig is sized for the 64×64 synthetic dataset.
@@ -62,12 +66,21 @@ func Train(m *Model, ds *scene.Dataset, cfg TrainConfig) ([]float64, error) {
 	opt := optim.NewAdam(params, cfg.LR)
 	m.SetTraining(true)
 
+	tr := cfg.Trace
+	if tr == nil {
+		tr = obs.TextTrace(cfg.Log)
+	}
+	sp := tr.Span("detector_train", obs.I("epochs", cfg.Epochs), obs.I64("seed", cfg.Seed))
+	defer sp.End()
+
 	order := rng.Perm(len(ds.Train))
 	history := make([]float64, 0, cfg.Epochs)
+	curLR := cfg.LR
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		// Cosine-free simple decay: drop LR 10× for the last fifth.
 		if cfg.Epochs >= 5 && epoch == cfg.Epochs*4/5 {
-			opt.SetLR(cfg.LR / 10)
+			curLR = cfg.LR / 10
+			opt.SetLR(curLR)
 		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		epochLoss, batches := 0.0, 0
@@ -92,9 +105,7 @@ func Train(m *Model, ds *scene.Dataset, cfg TrainConfig) ([]float64, error) {
 		}
 		avg := epochLoss / float64(batches)
 		history = append(history, avg)
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "epoch %3d  loss %.4f\n", epoch, avg)
-		}
+		sp.Epoch(obs.EpochStats{Epoch: epoch, Loss: avg, LR: curLR})
 	}
 	m.SetTraining(false)
 	return history, nil

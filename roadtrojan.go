@@ -25,6 +25,7 @@ import (
 	"roadtrojan/internal/imaging"
 	"roadtrojan/internal/metrics"
 	"roadtrojan/internal/nn"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/scene"
 	"roadtrojan/internal/shapes"
 	"roadtrojan/internal/tensor"
@@ -168,13 +169,27 @@ func DefaultAttackConfig() AttackConfig { return attack.DefaultConfig() }
 // CraftPatch trains our GAN-based monochrome decal attack against the
 // detector on the given scene.
 func CraftPatch(d *Detector, sc Scene, cfg AttackConfig, log io.Writer) (*Patch, error) {
-	p, _, err := attack.Train(d.model, scene.DefaultCamera(), sc, cfg, log)
+	return CraftPatchTraced(d, sc, cfg, obs.TextTrace(log))
+}
+
+// CraftPatchTraced is CraftPatch with a structured trace instead of a text
+// log: spans, per-iteration losses, EOT draws, and verify scores flow to
+// whatever sinks the trace carries (journal, progress, telemetry). A nil
+// trace disables all instrumentation.
+func CraftPatchTraced(d *Detector, sc Scene, cfg AttackConfig, tr *obs.Trace) (*Patch, error) {
+	p, _, err := attack.Train(d.model, scene.DefaultCamera(), sc, cfg, tr)
 	return p, err
 }
 
 // CraftBaselinePatch trains the colored EOT baseline [34] (Sava et al.).
 func CraftBaselinePatch(d *Detector, sc Scene, cfg AttackConfig, log io.Writer) (*Patch, error) {
-	p, _, err := attack.TrainBaseline(d.model, scene.DefaultCamera(), sc, cfg, log)
+	return CraftBaselinePatchTraced(d, sc, cfg, obs.TextTrace(log))
+}
+
+// CraftBaselinePatchTraced is CraftBaselinePatch with a structured trace
+// (see CraftPatchTraced).
+func CraftBaselinePatchTraced(d *Detector, sc Scene, cfg AttackConfig, tr *obs.Trace) (*Patch, error) {
+	p, _, err := attack.TrainBaseline(d.model, scene.DefaultCamera(), sc, cfg, tr)
 	return p, err
 }
 
@@ -189,8 +204,24 @@ func PhysicalCondition() Condition { return eval.DefaultCondition() }
 // "fast", "angle-15", "angle0", "angle+15") and returns the PWC/CWC score.
 // patch may be nil for the no-attack row.
 func EvaluateScenario(d *Detector, sc Scene, patch *Patch, target Class, challenge string, cond Condition) (Score, error) {
+	return EvaluateScenarioTraced(d, sc, patch, target, challenge, cond, nil)
+}
+
+// EvaluateScenarioTraced is EvaluateScenario with a structured trace: each
+// repetition's PWC/CWC and the averaged score are recorded on an "eval"
+// span. Tracing never changes results; a nil trace is free.
+func EvaluateScenarioTraced(d *Detector, sc Scene, patch *Patch, target Class, challenge string,
+	cond Condition, tr *obs.Trace) (Score, error) {
+
 	ch := scene.Challenges(challenge)[0]
-	return eval.RunScenario(d.model, scene.DefaultCamera(), sc, patch, target, ch, cond)
+	detail, err := eval.RunJob(eval.Job{
+		Det: d.model, Cam: scene.DefaultCamera(), Scene: sc, Patch: patch,
+		Target: target, Ch: ch, Cond: cond, Trace: tr,
+	})
+	if err != nil {
+		return Score{}, err
+	}
+	return detail.Score, nil
 }
 
 // EvaluateRow scores a patch across several challenges as one table row.

@@ -21,6 +21,12 @@ go vet ./...
 echo "== rtlint ./..."
 go run ./cmd/rtlint ./...
 
+# Focused journal checks first: golden-report drift and journal
+# determinism fail in seconds here, before the full race suite spins up.
+echo "== golden journal + report"
+go test -count 1 -run 'TestTrainJournal' ./internal/attack
+go test -count 1 -run 'Golden' ./internal/obs ./cmd/runreport
+
 echo "== go test -race ./..."
 go test -race ./...
 
