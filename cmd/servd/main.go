@@ -1,8 +1,10 @@
 // Command servd runs the concurrent patch-evaluation service: a worker pool
 // of detector replicas behind POST /v1/detect, POST /v1/evaluate,
-// GET /healthz and GET /metrics. SIGTERM/SIGINT drain gracefully: the
-// listener stops accepting, in-flight evaluations finish, then the process
-// exits.
+// GET /healthz and GET /metrics. With -fabric it additionally joins the
+// distributed eval fabric, serving the same executor over the framed node
+// protocol so a gatewayd can shard jobs onto it. SIGTERM/SIGINT drain
+// gracefully: the listeners stop accepting, in-flight evaluations finish,
+// then the process exits.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"roadtrojan"
 
+	"roadtrojan/internal/fabric"
 	"roadtrojan/internal/serve"
 	"roadtrojan/internal/telemetry"
 )
@@ -30,14 +33,16 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		weights = flag.String("weights", "testdata/detector.rtwt", "detector weights")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "job queue capacity (0 = 2×workers)")
-		cache   = flag.Int("cache", 128, "evaluation result cache entries (negative disables)")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-job deadline")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
-		pprofOn = flag.Bool("pprof", false, "expose /debug/pprof (off by default: the profiler leaks operational detail, enable only on trusted networks)")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		fabricAddr = flag.String("fabric", "", "fabric node listen address (empty = fabric disabled)")
+		nodeID     = flag.String("node-id", "", "fabric node identity (default: the fabric listen address)")
+		weights    = flag.String("weights", "testdata/detector.rtwt", "detector weights")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "job queue capacity (0 = 2×workers)")
+		cache      = flag.Int("cache", 128, "evaluation result cache entries (negative disables)")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-job deadline")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof (off by default: the profiler leaks operational detail, enable only on trusted networks)")
 	)
 	flag.Parse()
 
@@ -46,10 +51,14 @@ func run() error {
 		return fmt.Errorf("load detector: %w (train one first: go run ./cmd/trainyolo -out %s)", err, *weights)
 	}
 
-	s := serve.New(det.Model(), serve.Config{
+	cfg := serve.Config{
 		Workers: *workers, QueueSize: *queue, CacheSize: *cache, JobTimeout: *timeout,
 		EnablePprof: *pprofOn,
-	})
+	}
+	// One executor (worker pool + cache) behind both transports: the HTTP
+	// server and, when -fabric is set, the framed node protocol.
+	exec := serve.NewExecutor(det.Model(), cfg, nil)
+	s := serve.NewWith(exec, cfg)
 
 	// build_info follows the Prometheus convention: a constant-1 gauge whose
 	// labels carry the build identity, so dashboards can join on it.
@@ -59,26 +68,48 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
+	listeners := 1
 	go func() { errc <- s.ListenAndServe(*addr) }()
 	fmt.Printf("servd: listening on %s (weights %s)\n", *addr, *weights)
 	if *pprofOn {
 		fmt.Printf("servd: profiler exposed at /debug/pprof\n")
 	}
 
+	var node *fabric.Node
+	if *fabricAddr != "" {
+		node = fabric.NewNode(exec, fabric.NodeConfig{ID: *nodeID})
+		listeners++
+		go func() { errc <- node.Listen(*fabricAddr) }()
+		fmt.Printf("servd: fabric node listening on %s\n", *fabricAddr)
+	}
+
 	select {
 	case err := <-errc:
-		return err
+		listeners--
+		if err != nil {
+			return err
+		}
 	case <-ctx.Done():
 	}
 	fmt.Println("servd: draining...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if node != nil {
+		if err := node.Close(shutdownCtx); err != nil {
+			return fmt.Errorf("fabric shutdown: %w", err)
+		}
+	}
 	if err := s.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	if err := <-errc; err != nil {
-		return err
+	if err := exec.Close(shutdownCtx); err != nil {
+		return fmt.Errorf("executor shutdown: %w", err)
+	}
+	for ; listeners > 0; listeners-- {
+		if err := <-errc; err != nil {
+			return err
+		}
 	}
 	fmt.Println("servd: drained, bye")
 	return nil

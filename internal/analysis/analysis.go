@@ -60,9 +60,9 @@ type Config struct {
 	// through an explicit *rand.Rand and wall-clock reads are banned.
 	DeterministicPkgs map[string]bool
 	// RandAllowlist names packages exempt from globalrand even if listed
-	// as deterministic (serve, telemetry, and obs own wall-clock concerns;
-	// obs confines time.Now behind its Clock interface so importers stay
-	// deterministic).
+	// as deterministic (serve, telemetry, obs, and fabric own wall-clock
+	// concerns; obs confines time.Now behind its Clock interface and
+	// fabric behind fabric.Clock, so importers stay deterministic).
 	RandAllowlist map[string]bool
 	// FloatEqApproved names functions whose bodies may compare floats with
 	// == / != (the designated epsilon helpers themselves).
@@ -84,7 +84,7 @@ func DefaultConfig(module string) *Config {
 			"metrics": true, "shapes": true, "optim": true, "imaging": true,
 			"physical": true, "defense": true, "core": true,
 		},
-		RandAllowlist:   map[string]bool{"serve": true, "telemetry": true, "obs": true},
+		RandAllowlist:   map[string]bool{"serve": true, "telemetry": true, "obs": true, "fabric": true},
 		FloatEqApproved: map[string]bool{},
 		PanicScope: func(p *Pkg) bool {
 			return strings.HasPrefix(p.Path, module+"/internal/")

@@ -1,0 +1,62 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadtrojan/internal/shapes"
+	"roadtrojan/internal/tensor"
+)
+
+// FuzzDecodePatch pins the wire-safety contract for the /v1/evaluate patch
+// payload: arbitrary bytes must decode to a valid patch or fail with an
+// error — never panic, never return a half-built patch. The serving tier
+// feeds this function straight from untrusted request bodies.
+func FuzzDecodePatch(f *testing.F) {
+	rng := rand.New(rand.NewSource(12))
+	gray := tensor.New(1, 32, 32)
+	for i := range gray.Data() {
+		gray.Data()[i] = rng.Float64()
+	}
+	cfg := DefaultConfig()
+	p := &Patch{Gray: gray, Mask: shapes.Mask(cfg.Shape, 32, cfg.ShapeScale(), 0), Cfg: cfg}
+	valid, err := EncodePatch(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-tensor
+	f.Add(valid[:11])           // truncated header
+	corrupt := append([]byte(nil), valid...)
+	corrupt[4] ^= 0xFF // version byte
+	f.Add(corrupt)
+	tail := append([]byte(nil), valid...)
+	tail[len(tail)-3] ^= 0x55 // flip payload bits
+	f.Add(tail)
+	f.Add([]byte{})
+	f.Add([]byte("RTWT"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePatch(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("error with non-nil patch")
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("nil patch with nil error")
+		}
+		if p.Gray == nil && p.RGB == nil {
+			t.Fatal("decoded patch has no payload")
+		}
+		if p.Gray != nil && p.Mask == nil {
+			t.Fatal("decoded gray patch without mask")
+		}
+		// Whatever decodes must survive a re-encode round trip.
+		if _, err := EncodePatch(p); err != nil {
+			t.Fatalf("re-encode of decoded patch failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,302 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"roadtrojan/internal/serve"
+)
+
+// errBackendDown marks a transport-level failure (dial refused, connection
+// died mid-job). Evaluation jobs are idempotent — pure functions of
+// (patch, scene, seed) — so the gateway is free to re-dispatch.
+var errBackendDown = errors.New("fabric: backend down")
+
+// jobFailedError is a node-reported job failure (an Error frame).
+type jobFailedError struct {
+	code       string
+	msg        string
+	retryAfter int
+}
+
+func (e *jobFailedError) Error() string { return "fabric: node error " + e.code + ": " + e.msg }
+
+// backend manages the gateway's relationship with one node: a persistent
+// framed connection with automatic redial, the pending-job table, and the
+// node's last health report.
+type backend struct {
+	g    *Gateway
+	addr string
+
+	mu       sync.Mutex
+	conn     net.Conn
+	writeMu  sync.Mutex
+	pending  map[uint64]*pendingJob
+	up       bool
+	draining bool // node announced Drain
+	removed  bool // RemoveNode called: stop redialing
+	health   Health
+	lastSeen time.Time
+
+	removedCh chan struct{} // closed on remove, wakes the redial wait
+	done      chan struct{} // closed when runLoop exits
+}
+
+type pendingJob struct {
+	acked bool
+	done  chan jobReply // buffered 1
+}
+
+type jobReply struct {
+	payload []byte
+	jerr    *JobError
+	err     error
+}
+
+func newBackend(g *Gateway, addr string) *backend {
+	return &backend{
+		g:         g,
+		addr:      addr,
+		pending:   map[uint64]*pendingJob{},
+		removedCh: make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// runLoop dials the node, pumps frames until the connection dies, and
+// redials with bounded backoff until the backend is removed or the gateway
+// closes.
+func (b *backend) runLoop() {
+	defer close(b.done)
+	backoff := b.g.cfg.RedialBackoff
+	for {
+		if b.isGone() {
+			return
+		}
+		conn, err := b.g.cfg.Dial(b.addr)
+		if err != nil {
+			select {
+			case <-b.g.clock.After(backoff):
+			case <-b.removedCh:
+				return
+			case <-b.g.closed:
+				return
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = b.g.cfg.RedialBackoff
+		b.attach(conn)
+		b.readLoop(conn)
+		b.detach(conn)
+	}
+}
+
+func (b *backend) isGone() bool {
+	select {
+	case <-b.removedCh:
+		return true
+	case <-b.g.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+func (b *backend) attach(conn net.Conn) {
+	b.mu.Lock()
+	b.conn = conn
+	b.up = true
+	b.draining = false
+	b.lastSeen = b.g.clock.Now()
+	b.mu.Unlock()
+	b.g.backendUp(b.addr, true)
+}
+
+// detach fails every pending job with errBackendDown so dispatch can retry
+// them on the next ring owner immediately.
+func (b *backend) detach(conn net.Conn) {
+	conn.Close()
+	b.mu.Lock()
+	if b.conn == conn {
+		b.conn = nil
+		b.up = false
+	}
+	orphans := make([]*pendingJob, 0, len(b.pending))
+	for id, pj := range b.pending {
+		orphans = append(orphans, pj)
+		delete(b.pending, id)
+	}
+	b.mu.Unlock()
+	b.g.backendUp(b.addr, false)
+	for _, pj := range orphans {
+		pj.done <- jobReply{err: errBackendDown}
+	}
+}
+
+// readLoop decodes node frames until the connection fails.
+func (b *backend) readLoop(conn net.Conn) {
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, ErrBadFrame) {
+				b.g.decodeErrors.Inc()
+			}
+			return
+		}
+		b.mu.Lock()
+		b.lastSeen = b.g.clock.Now()
+		b.mu.Unlock()
+		switch f.Type {
+		case FrameHello, FrameHealth:
+			var h Health
+			if err := json.Unmarshal(f.Payload, &h); err != nil {
+				b.g.decodeErrors.Inc()
+				continue
+			}
+			b.mu.Lock()
+			b.health = h
+			b.mu.Unlock()
+			if h.Draining {
+				b.markDraining()
+			}
+		case FrameAck:
+			b.mu.Lock()
+			if pj := b.pending[f.JobID]; pj != nil {
+				pj.acked = true
+			}
+			b.mu.Unlock()
+		case FrameResult:
+			b.deliver(f.JobID, jobReply{payload: f.Payload})
+		case FrameError:
+			var je JobError
+			if err := json.Unmarshal(f.Payload, &je); err != nil {
+				b.g.decodeErrors.Inc()
+				je = JobError{Code: CodeInternal, Error: "undecodable error frame"}
+			}
+			b.deliver(f.JobID, jobReply{jerr: &je})
+		case FrameDrain:
+			b.markDraining()
+		}
+	}
+}
+
+// markDraining takes the node out of routing; the gateway keeps the
+// connection until its pending jobs drain (graceful leave).
+func (b *backend) markDraining() {
+	b.mu.Lock()
+	already := b.draining
+	b.draining = true
+	b.mu.Unlock()
+	if !already {
+		b.g.nodeDraining(b.addr)
+	}
+}
+
+func (b *backend) deliver(id uint64, r jobReply) {
+	b.mu.Lock()
+	pj := b.pending[id]
+	delete(b.pending, id)
+	closeIdle := b.removed && len(b.pending) == 0
+	conn := b.conn
+	b.mu.Unlock()
+	if pj != nil {
+		pj.done <- r
+	}
+	// A removed backend lingers only for its in-flight jobs; the last
+	// result closes the connection (graceful leave with in-flight drain).
+	if closeIdle && conn != nil {
+		conn.Close()
+	}
+}
+
+// available reports whether dispatch may route new jobs here.
+func (b *backend) available(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.up || b.draining || b.removed {
+		return false
+	}
+	return now.Sub(b.lastSeen) <= b.g.cfg.HeartbeatTimeout
+}
+
+// snapshot returns the last health report and liveness for /healthz.
+func (b *backend) snapshot() (Health, bool, time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.health, b.up && !b.draining && !b.removed, b.lastSeen
+}
+
+// remove initiates a graceful leave: no new jobs, redial stops, and the
+// connection closes as soon as the pending table is empty.
+func (b *backend) remove() {
+	b.mu.Lock()
+	if b.removed {
+		b.mu.Unlock()
+		return
+	}
+	b.removed = true
+	idle := len(b.pending) == 0
+	conn := b.conn
+	b.mu.Unlock()
+	close(b.removedCh)
+	if idle && conn != nil {
+		conn.Close()
+	}
+}
+
+// roundTrip sends one job and blocks for its reply.
+func (b *backend) roundTrip(ctx context.Context, req serve.EvalRequest) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encode job: %v", serve.ErrBadRequest, err)
+	}
+	id := b.g.jobSeq.Add(1)
+	pj := &pendingJob{done: make(chan jobReply, 1)}
+
+	b.mu.Lock()
+	if !b.up || b.conn == nil {
+		b.mu.Unlock()
+		return nil, errBackendDown
+	}
+	conn := b.conn
+	b.pending[id] = pj
+	b.mu.Unlock()
+
+	b.writeMu.Lock()
+	err = WriteFrame(conn, Frame{Type: FrameJob, JobID: id, Payload: payload})
+	b.writeMu.Unlock()
+	if err != nil {
+		b.forget(id)
+		conn.Close() // wake the read loop; detach fails the rest
+		return nil, errBackendDown
+	}
+
+	select {
+	case r := <-pj.done:
+		switch {
+		case r.err != nil:
+			return nil, r.err
+		case r.jerr != nil:
+			return nil, &jobFailedError{code: r.jerr.Code, msg: r.jerr.Error, retryAfter: r.jerr.RetryAfter}
+		default:
+			return r.payload, nil
+		}
+	case <-ctx.Done():
+		b.forget(id)
+		return nil, ctx.Err()
+	}
+}
+
+func (b *backend) forget(id uint64) {
+	b.mu.Lock()
+	delete(b.pending, id)
+	b.mu.Unlock()
+}

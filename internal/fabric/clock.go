@@ -1,0 +1,20 @@
+package fabric
+
+import "time"
+
+// Clock abstracts the wall clock so the gateway's heartbeat staleness and
+// retry backoff are testable with injected time. Production uses
+// WallClock; the deterministic fabric tests inject a fake whose After
+// fires immediately and whose Now is advanced by hand.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// WallClock returns the real-time clock.
+func WallClock() Clock { return wallClock{} }

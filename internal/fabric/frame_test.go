@@ -1,0 +1,79 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Type: FrameHello, Payload: []byte(`{"id":"n1"}`)},
+		{Type: FrameJob, JobID: 42, Payload: []byte(`{"scene":"road"}`)},
+		{Type: FrameAck, JobID: 42},
+		{Type: FrameResult, JobID: 42, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Type: FrameError, JobID: 7, Payload: []byte(`{"code":"queue_full","error":"x","retryAfter":2}`)},
+		{Type: FrameHealth, Payload: []byte(`{}`)},
+		{Type: FrameDrain},
+	}
+	var buf bytes.Buffer
+	for _, f := range cases {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("write %+v: %v", f, err)
+		}
+	}
+	for i, want := range cases {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.JobID != want.JobID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("drained stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameStrict(t *testing.T) {
+	valid := AppendFrame(nil, Frame{Type: FrameJob, JobID: 1, Payload: []byte("hi")})
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty mid-header", valid[:10]},
+		{"bad magic", corrupt(func(b []byte) { b[0] = 'X' })},
+		{"bad version", corrupt(func(b []byte) { b[4] = 99 })},
+		{"zero type", corrupt(func(b []byte) { b[5] = 0 })},
+		{"unknown type", corrupt(func(b []byte) { b[5] = 200 })},
+		{"nonzero flags", corrupt(func(b []byte) { b[6] = 1 })},
+		{"oversize length", corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[16:20], MaxPayload+1)
+		})},
+		{"truncated payload", valid[:len(valid)-1]},
+	}
+	for _, tc := range cases {
+		_, err := ReadFrame(bytes.NewReader(tc.data))
+		if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", tc.name, err)
+		}
+	}
+}
+
+func TestWriteFrameRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: 0}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("zero type: err = %v, want ErrBadFrame", err)
+	}
+	if err := WriteFrame(&buf, Frame{Type: FrameJob, Payload: make([]byte, MaxPayload+1)}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversize payload: err = %v, want ErrBadFrame", err)
+	}
+}

@@ -1,0 +1,59 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame pins the strict-decode contract: whatever bytes arrive,
+// ReadFrame returns io.EOF (clean boundary) or an ErrBadFrame-wrapped
+// error — it never panics, and every frame it does accept re-encodes to a
+// byte-identical wire image.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Type: FrameHello, Payload: []byte(`{"id":"n1","workers":4}`)}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameJob, JobID: 7, Payload: []byte(`{"scene":"road","seed":3}`)}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameDrain}))
+	two := AppendFrame(nil, Frame{Type: FrameAck, JobID: 1})
+	f.Add(AppendFrame(two, Frame{Type: FrameResult, JobID: 1, Payload: []byte(`{"pwc":0.5}`)}))
+	valid := AppendFrame(nil, Frame{Type: FrameHealth, Payload: []byte(`{}`)})
+	f.Add(valid[:len(valid)-1]) // truncated payload
+	f.Add(valid[:headerSize-3]) // truncated header
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+	f.Add(badMagic)
+	hugeLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(hugeLen[16:20], MaxPayload+1)
+	f.Add(hugeLen)
+	f.Add([]byte{})
+	f.Add([]byte("RTFB"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := ReadFrame(r)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if !frameTypeValid(fr.Type) {
+				t.Fatalf("decoder accepted invalid type %d", fr.Type)
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("decoder accepted oversize payload %d", len(fr.Payload))
+			}
+			enc := AppendFrame(nil, fr)
+			back, err := ReadFrame(bytes.NewReader(enc))
+			if err != nil {
+				t.Fatalf("re-decode of accepted frame failed: %v", err)
+			}
+			if back.Type != fr.Type || back.JobID != fr.JobID || !bytes.Equal(back.Payload, fr.Payload) {
+				t.Fatalf("round trip mismatch: %+v vs %+v", fr, back)
+			}
+		}
+	})
+}

@@ -1,0 +1,570 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roadtrojan/internal/obs"
+	"roadtrojan/internal/serve"
+	"roadtrojan/internal/telemetry"
+)
+
+// GatewayConfig tunes the stateless front-end.
+type GatewayConfig struct {
+	// Nodes are the initial backend addresses; more can join via AddNode.
+	Nodes []string
+	// Replicas is the ring virtual-node count; 0 means DefaultReplicas.
+	Replicas int
+	// MaxAttempts bounds full ring passes per job (the node-failure retry
+	// budget); 0 means 3.
+	MaxAttempts int
+	// RetryBackoff is the base delay between dispatch passes, doubling per
+	// attempt; 0 means 50ms.
+	RetryBackoff time.Duration
+	// RedialBackoff is the base backend reconnect delay; 0 means 100ms.
+	RedialBackoff time.Duration
+	// HeartbeatTimeout marks a silent backend unavailable; 0 means 5s.
+	HeartbeatTimeout time.Duration
+	// JobTimeout bounds one job end to end (including retries); 0 means
+	// 2 minutes.
+	JobTimeout time.Duration
+	// JobTableSize bounds the async job table; 0 means 1024. A table full
+	// of incomplete jobs rejects new submissions with 429.
+	JobTableSize int
+	// Dial opens a connection to a node address; nil means TCP with a 5s
+	// timeout. Tests inject loopback or in-memory dialers.
+	Dial func(addr string) (net.Conn, error)
+	// Clock drives staleness checks and backoff; nil means WallClock.
+	Clock Clock
+	// Trace receives one span per HTTP request (nil = no tracing).
+	Trace *obs.Trace
+}
+
+func (c *GatewayConfig) fillDefaults() {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 100 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 5 * time.Second
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.JobTableSize <= 0 {
+		c.JobTableSize = 1024
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = WallClock()
+	}
+}
+
+// errSaturated reports that every routable shard rejected the job with a
+// full queue: the client should back off (429 + Retry-After), not the
+// gateway.
+type errSaturated struct{ retryAfter int }
+
+func (e *errSaturated) Error() string { return "fabric: all shards saturated" }
+
+// ErrNoBackends means no node is currently routable.
+var ErrNoBackends = errors.New("fabric: no live backends")
+
+// ErrGatewayClosed is returned for work submitted after Close.
+var ErrGatewayClosed = errors.New("fabric: gateway shut down")
+
+// Gateway is the stateless eval front-end: it owns no detector and no
+// result cache, only the hash ring, the backend connections, and a bounded
+// table of in-flight async jobs. Any number of gateways can front the same
+// fleet; routing is a pure function of (patch digest, fleet membership).
+type Gateway struct {
+	cfg    GatewayConfig
+	reg    *telemetry.Registry
+	clock  Clock
+	ring   *Ring
+	closed chan struct{}
+
+	mu       sync.Mutex
+	backends map[string]*backend
+
+	jobSeq   atomic.Uint64 // wire job ids
+	asyncSeq atomic.Uint64 // async job names
+
+	jobsMu   sync.Mutex
+	jobTable map[string]*asyncJob
+	jobOrder []string
+	asyncWG  sync.WaitGroup
+
+	retries      *telemetry.Counter
+	saturated    *telemetry.Counter
+	decodeErrors *telemetry.Counter
+}
+
+// NewGateway builds the front-end and starts dialing the configured nodes.
+func NewGateway(cfg GatewayConfig) *Gateway {
+	cfg.fillDefaults()
+	reg := telemetry.NewRegistry()
+	g := &Gateway{
+		cfg:      cfg,
+		reg:      reg,
+		clock:    cfg.Clock,
+		ring:     NewRing(cfg.Replicas),
+		closed:   make(chan struct{}),
+		backends: map[string]*backend{},
+		jobTable: map[string]*asyncJob{},
+
+		retries:      reg.Counter("fabric_gateway_retries_total", "jobs re-dispatched after a node failure", nil),
+		saturated:    reg.Counter("fabric_gateway_saturated_total", "jobs rejected because every shard's queue was full", nil),
+		decodeErrors: reg.Counter("fabric_gateway_frame_decode_errors_total", "malformed frames received from nodes", nil),
+	}
+	reg.GaugeFunc("fabric_gateway_ring_nodes", "physical nodes on the hash ring", nil,
+		func() float64 { return float64(g.ring.Len()) })
+	reg.GaugeFunc("fabric_gateway_backends_available", "backends currently routable", nil,
+		func() float64 {
+			now := g.clock.Now()
+			n := 0
+			for _, b := range g.allBackends() {
+				if b.available(now) {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	for _, addr := range cfg.Nodes {
+		g.AddNode(addr)
+	}
+	return g
+}
+
+// Metrics exposes the gateway registry.
+func (g *Gateway) Metrics() *telemetry.Registry { return g.reg }
+
+// Ring exposes the hash ring (read-only use: tests and /healthz).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+func (g *Gateway) allBackends() []*backend {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		out = append(out, b)
+	}
+	return out
+}
+
+func (g *Gateway) backend(addr string) *backend {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.backends[addr]
+}
+
+// AddNode joins a node: it enters the hash ring immediately (so routing
+// converges fleet-wide) and the gateway starts dialing it.
+func (g *Gateway) AddNode(addr string) {
+	g.mu.Lock()
+	if _, ok := g.backends[addr]; ok {
+		g.mu.Unlock()
+		return
+	}
+	b := newBackend(g, addr)
+	g.backends[addr] = b
+	g.mu.Unlock()
+	g.ring.Add(addr)
+	go b.runLoop()
+}
+
+// RemoveNode leaves a node gracefully: it leaves the ring (no new jobs),
+// in-flight jobs drain, then the connection closes.
+func (g *Gateway) RemoveNode(addr string) {
+	g.ring.Remove(addr)
+	g.mu.Lock()
+	b := g.backends[addr]
+	delete(g.backends, addr)
+	g.mu.Unlock()
+	if b != nil {
+		b.remove()
+	}
+}
+
+// nodeDraining handles a node-initiated leave (Drain frame or a draining
+// health report): take it off the ring so new jobs route around it while
+// its in-flight jobs finish.
+func (g *Gateway) nodeDraining(addr string) {
+	g.ring.Remove(addr)
+}
+
+// backendUp records a connectivity transition for the per-node gauge.
+func (g *Gateway) backendUp(addr string, up bool) {
+	v := 0.0
+	if up {
+		v = 1
+	}
+	g.reg.Gauge("fabric_gateway_backend_up", "1 when the backend connection is established",
+		telemetry.Labels{"node": addr}).Set(v)
+}
+
+// dispatch routes one job: consistent-hash sequence for the patch digest,
+// immediate failover across the ring on node failure, bounded backoff
+// between full passes, and a saturation verdict when every routable shard
+// is queue-full.
+func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, error) {
+	key := req.Digest()
+	backoff := g.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			g.retries.Inc()
+			select {
+			case <-g.clock.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-g.closed:
+				return nil, ErrGatewayClosed
+			}
+			backoff *= 2
+		}
+		seq := g.ring.Sequence(key, g.ring.Len())
+		sawSaturated, sawDown := false, false
+		retryAfter := 1
+		now := g.clock.Now()
+		for _, addr := range seq {
+			b := g.backend(addr)
+			if b == nil || !b.available(now) {
+				sawDown = true
+				continue
+			}
+			payload, err := b.roundTrip(ctx, req)
+			if err == nil {
+				g.reg.Counter("fabric_gateway_node_jobs_total", "jobs completed per backend",
+					telemetry.Labels{"node": addr}).Inc()
+				return payload, nil
+			}
+			var jf *jobFailedError
+			switch {
+			case errors.Is(err, errBackendDown):
+				sawDown, lastErr = true, err
+			case errors.As(err, &jf):
+				switch jf.code {
+				case CodeQueueFull:
+					sawSaturated, lastErr = true, err
+					if jf.retryAfter > retryAfter {
+						retryAfter = jf.retryAfter
+					}
+				case CodeDraining:
+					sawDown, lastErr = true, err
+				case CodeBadRequest:
+					return nil, fmt.Errorf("%w: %s", serve.ErrBadRequest, jf.msg)
+				default:
+					// The job ran and failed; it is deterministic, so
+					// another node would fail identically.
+					return nil, jf
+				}
+			default:
+				return nil, err // context cancellation/deadline
+			}
+		}
+		if sawSaturated && !sawDown {
+			g.saturated.Inc()
+			return nil, &errSaturated{retryAfter: retryAfter}
+		}
+		if len(seq) == 0 {
+			lastErr = ErrNoBackends
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoBackends
+	}
+	return nil, fmt.Errorf("fabric: job failed after %d attempts: %w", g.cfg.MaxAttempts, lastErr)
+}
+
+// Close shuts the gateway down: backends close, async jobs get until ctx
+// to finish, late submissions fail.
+func (g *Gateway) Close(ctx context.Context) error {
+	g.mu.Lock()
+	select {
+	case <-g.closed:
+		g.mu.Unlock()
+		return nil
+	default:
+	}
+	close(g.closed)
+	backends := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		backends = append(backends, b)
+	}
+	g.mu.Unlock()
+	for _, b := range backends {
+		b.remove()
+	}
+	done := make(chan struct{})
+	go func() { g.asyncWG.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fabric: gateway drain: %w", ctx.Err())
+	}
+}
+
+// --- async job table ---
+
+type asyncJob struct {
+	id string
+
+	mu     sync.Mutex
+	status string // pending | running | done | failed
+	result json.RawMessage
+	errMsg string
+}
+
+func (j *asyncJob) set(status string, result []byte, errMsg string) {
+	j.mu.Lock()
+	j.status, j.result, j.errMsg = status, result, errMsg
+	j.mu.Unlock()
+}
+
+func (j *asyncJob) view() (string, json.RawMessage, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.result, j.errMsg
+}
+
+func (j *asyncJob) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == "done" || j.status == "failed"
+}
+
+// addJob registers a new async job, evicting the oldest completed entry
+// when the table is full. Returns false when every slot holds an
+// incomplete job — backpressure for the submit path.
+func (g *Gateway) addJob(j *asyncJob) bool {
+	g.jobsMu.Lock()
+	defer g.jobsMu.Unlock()
+	if len(g.jobOrder) >= g.cfg.JobTableSize {
+		evicted := false
+		for i, id := range g.jobOrder {
+			if g.jobTable[id].terminal() {
+				delete(g.jobTable, id)
+				g.jobOrder = append(g.jobOrder[:i], g.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return false
+		}
+	}
+	g.jobTable[j.id] = j
+	g.jobOrder = append(g.jobOrder, j.id)
+	return true
+}
+
+func (g *Gateway) getJob(id string) *asyncJob {
+	g.jobsMu.Lock()
+	defer g.jobsMu.Unlock()
+	return g.jobTable[id]
+}
+
+// --- HTTP front-end ---
+
+// Handler returns the gateway mux.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/evaluate", g.instrument("evaluate", g.handleEvaluate))
+	mux.Handle("POST /v1/jobs", g.instrument("jobs_submit", g.handleSubmit))
+	mux.Handle("GET /v1/jobs/{id}", g.instrument("jobs_poll", g.handlePoll))
+	mux.Handle("/healthz", g.instrument("healthz", g.handleHealthz))
+	mux.Handle("/metrics", g.reg.Handler())
+	return mux
+}
+
+func (g *Gateway) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	hist := g.reg.Histogram("fabric_gateway_request_seconds", "request latency by endpoint",
+		telemetry.Labels{"endpoint": endpoint}, nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sp := g.cfg.Trace.Span("gateway_request", obs.S("endpoint", endpoint), obs.S("method", r.Method))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		sp.End(obs.I("code", sw.code))
+		hist.Observe(time.Since(start).Seconds())
+		g.reg.Counter("fabric_gateway_requests_total", "requests by endpoint and status code",
+			telemetry.Labels{"endpoint": endpoint, "code": strconv.Itoa(sw.code)}).Inc()
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeDispatchError maps dispatch failures onto the serve error surface.
+func writeDispatchError(w http.ResponseWriter, err error) {
+	var sat *errSaturated
+	switch {
+	case errors.As(err, &sat):
+		w.Header().Set("Retry-After", strconv.Itoa(sat.retryAfter))
+		writeJSON(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: err.Error()})
+	case errors.Is(err, serve.ErrBadRequest):
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+	case errors.Is(err, ErrNoBackends), errors.Is(err, ErrGatewayClosed), errors.Is(err, errBackendDown):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{Error: err.Error()})
+	}
+}
+
+// handleEvaluate is the synchronous compatibility path: same request and
+// response shape as single-box serve, with the node's response bytes
+// forwarded verbatim.
+func (g *Gateway) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "POST required"})
+		return
+	}
+	var req serve.EvalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.JobTimeout)
+	defer cancel()
+	payload, err := g.dispatch(ctx, req)
+	if err != nil {
+		writeDispatchError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// submitResponse is the POST /v1/jobs reply.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+// jobStatusResponse is the GET /v1/jobs/{id} reply.
+type jobStatusResponse struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// handleSubmit accepts a job asynchronously: validate at the edge, park it
+// in the bounded table, dispatch in the background, return the poll handle.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.EvalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	select {
+	case <-g.closed:
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: ErrGatewayClosed.Error()})
+		return
+	default:
+	}
+	id := fmt.Sprintf("j%06d-%.8s", g.asyncSeq.Add(1), req.Digest())
+	job := &asyncJob{id: id, status: "pending"}
+	if !g.addJob(job) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: "fabric: job table full"})
+		return
+	}
+	g.asyncWG.Add(1)
+	go func() {
+		defer g.asyncWG.Done()
+		job.set("running", nil, "")
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.JobTimeout)
+		defer cancel()
+		payload, err := g.dispatch(ctx, req)
+		if err != nil {
+			g.reg.Counter("fabric_gateway_jobs_total", "async jobs by final status",
+				telemetry.Labels{"status": "failed"}).Inc()
+			job.set("failed", nil, err.Error())
+			return
+		}
+		g.reg.Counter("fabric_gateway_jobs_total", "async jobs by final status",
+			telemetry.Labels{"status": "done"}).Inc()
+		job.set("done", payload, "")
+	}()
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Status: "pending"})
+}
+
+// handlePoll reports an async job's state, embedding the finished result.
+func (g *Gateway) handlePoll(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job := g.getJob(id)
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, serve.ErrorResponse{Error: "unknown job " + id})
+		return
+	}
+	status, result, errMsg := job.view()
+	writeJSON(w, http.StatusOK, jobStatusResponse{ID: id, Status: status, Result: result, Error: errMsg})
+}
+
+// handleHealthz reports the fleet as the gateway sees it.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	now := g.clock.Now()
+	nodes := map[string]any{}
+	for _, b := range g.allBackends() {
+		h, up, lastSeen := b.snapshot()
+		nodes[b.addr] = map[string]any{
+			"up":         up,
+			"available":  b.available(now),
+			"id":         h.ID,
+			"queueDepth": h.QueueDepth,
+			"queueCap":   h.QueueCapacity,
+			"inflight":   h.Inflight,
+			"lastSeenMs": now.Sub(lastSeen).Milliseconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"ring_nodes": g.ring.Len(),
+		"nodes":      nodes,
+	})
+}

@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("digest-%04d", i)
+	}
+	return keys
+}
+
+func TestRingLookupOrderIndependent(t *testing.T) {
+	a := NewRing(0)
+	for _, id := range []string{"n1", "n2", "n3"} {
+		a.Add(id)
+	}
+	b := NewRing(0)
+	for _, id := range []string{"n3", "n1", "n2"} {
+		b.Add(id)
+	}
+	for _, k := range ringKeys(500) {
+		if got, want := a.Lookup(k), b.Lookup(k); got != want {
+			t.Fatalf("lookup(%q) depends on insertion order: %q vs %q", k, got, want)
+		}
+	}
+}
+
+func TestRingSequenceDistinctAndStable(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	for _, id := range nodes {
+		r.Add(id)
+	}
+	for _, k := range ringKeys(100) {
+		seq := r.Sequence(k, len(nodes))
+		if len(seq) != len(nodes) {
+			t.Fatalf("sequence(%q) has %d entries, want %d", k, len(seq), len(nodes))
+		}
+		seen := map[string]bool{}
+		for _, id := range seq {
+			if seen[id] {
+				t.Fatalf("sequence(%q) repeats %q: %v", k, id, seq)
+			}
+			seen[id] = true
+		}
+		if seq[0] != r.Lookup(k) {
+			t.Fatalf("sequence(%q) head %q != lookup %q", k, seq[0], r.Lookup(k))
+		}
+		again := r.Sequence(k, len(nodes))
+		for i := range seq {
+			if seq[i] != again[i] {
+				t.Fatalf("sequence(%q) not deterministic: %v vs %v", k, seq, again)
+			}
+		}
+	}
+}
+
+// TestRingRebalanceBounded is the consistent-hashing contract: removing a
+// node moves only the keys that node owned, and re-adding it restores the
+// original assignment exactly (cache affinity survives a node bounce).
+func TestRingRebalanceBounded(t *testing.T) {
+	r := NewRing(0)
+	for _, id := range []string{"n1", "n2", "n3"} {
+		r.Add(id)
+	}
+	keys := ringKeys(2000)
+	before := map[string]string{}
+	perNode := map[string]int{}
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+		perNode[before[k]]++
+	}
+	for _, id := range []string{"n1", "n2", "n3"} {
+		if perNode[id] == 0 {
+			t.Fatalf("node %s owns no keys out of %d; distribution broken: %v", id, len(keys), perNode)
+		}
+	}
+
+	r.Remove("n2")
+	moved := 0
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if after == "n2" {
+			t.Fatalf("key %q still maps to removed node", k)
+		}
+		if before[k] != "n2" && after != before[k] {
+			t.Fatalf("key %q moved from surviving node %q to %q on unrelated removal", k, before[k], after)
+		}
+		if before[k] == "n2" {
+			moved++
+		}
+	}
+	if moved != perNode["n2"] {
+		t.Fatalf("moved %d keys, want exactly n2's %d", moved, perNode["n2"])
+	}
+
+	r.Add("n2")
+	for _, k := range keys {
+		if got := r.Lookup(k); got != before[k] {
+			t.Fatalf("key %q maps to %q after rejoin, originally %q", k, got, before[k])
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Lookup("anything"); got != "" {
+		t.Fatalf("empty ring lookup = %q, want empty", got)
+	}
+	if seq := r.Sequence("anything", 3); seq != nil {
+		t.Fatalf("empty ring sequence = %v, want nil", seq)
+	}
+	r.Add("solo")
+	r.Add("solo") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("len after duplicate add = %d", r.Len())
+	}
+	if seq := r.Sequence("k", 10); len(seq) != 1 || seq[0] != "solo" {
+		t.Fatalf("sequence on 1-node ring = %v", seq)
+	}
+	r.Remove("ghost") // idempotent no-op
+	r.Remove("solo")
+	r.Remove("solo")
+	if r.Len() != 0 {
+		t.Fatalf("len after removal = %d", r.Len())
+	}
+	if got := r.Nodes(); len(got) != 0 {
+		t.Fatalf("nodes after removal = %v", got)
+	}
+}

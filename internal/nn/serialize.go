@@ -110,6 +110,7 @@ func LoadState(r io.Reader) (State, error) {
 		if rank > 8 {
 			return nil, fmt.Errorf("%w: rank %d", ErrBadWeights, rank)
 		}
+		const maxElems = 1 << 28
 		shape := make([]int, rank)
 		n := 1
 		for d := range shape {
@@ -118,19 +119,38 @@ func LoadState(r io.Reader) (State, error) {
 				return nil, fmt.Errorf("%w: %v", ErrBadWeights, err)
 			}
 			shape[d] = int(dim)
+			// Checked after every multiply: with n bounded by maxElems the
+			// product cannot overflow int64, so a crafted shape cannot wrap
+			// around to a small element count that disagrees with the dims.
 			n *= int(dim)
+			if n > maxElems {
+				return nil, fmt.Errorf("%w: tensor %q too large (>%d elements)", ErrBadWeights, nameBuf, maxElems)
+			}
 		}
-		const maxElems = 1 << 28
-		if n > maxElems {
-			return nil, fmt.Errorf("%w: tensor %q too large (%d elements)", ErrBadWeights, nameBuf, n)
+		// Read tensor data in bounded chunks: the header alone may claim up
+		// to maxElems elements, and allocating that up front would let a
+		// short hostile stream pin ~2 GiB before ReadFull notices the
+		// truncation.
+		const chunkElems = 1 << 16
+		chunk := n
+		if chunk > chunkElems {
+			chunk = chunkElems
 		}
-		buf := make([]byte, 8*n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("%w: truncated tensor %q: %v", ErrBadWeights, nameBuf, err)
-		}
-		data := make([]float64, n)
-		for j := range data {
-			data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		buf := make([]byte, 8*chunk)
+		data := make([]float64, 0, chunk)
+		for read := 0; read < n; {
+			c := n - read
+			if c > chunkElems {
+				c = chunkElems
+			}
+			b := buf[:8*c]
+			if _, err := io.ReadFull(br, b); err != nil {
+				return nil, fmt.Errorf("%w: truncated tensor %q: %v", ErrBadWeights, nameBuf, err)
+			}
+			for j := 0; j < c; j++ {
+				data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(b[j*8:])))
+			}
+			read += c
 		}
 		state[string(nameBuf)] = tensor.FromSlice(data, shape...)
 	}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roadtrojan/internal/attack"
+	"roadtrojan/internal/eval"
+	"roadtrojan/internal/scene"
+	"roadtrojan/internal/telemetry"
+	"roadtrojan/internal/tensor"
+	"roadtrojan/internal/yolo"
+)
+
+// ErrBadRequest wraps request validation failures so transports (HTTP 400,
+// fabric bad_request frames) can distinguish caller mistakes from capacity
+// and execution errors.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// Executor is the transport-free evaluation core: the worker pool of
+// detector replicas, the shared scenes, the LRU result cache, and the
+// capacity metrics. Both the HTTP Server and the fabric node front it; it
+// knows nothing about either wire.
+type Executor struct {
+	cfg    Config
+	reg    *telemetry.Registry
+	cam    scene.Camera
+	scenes map[string]attack.Scene
+	cache  *lruCache
+	jobs   chan *task
+	wg     sync.WaitGroup
+
+	drainMu  sync.RWMutex
+	draining bool
+
+	// jobSeconds is an EWMA of observed job wall time (float64 bits),
+	// feeding the Retry-After hint on queue-full rejections.
+	jobSeconds atomic.Uint64
+
+	queueDepth  *telemetry.Gauge
+	inflight    *telemetry.Gauge
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	rejected    *telemetry.Counter
+	panics      *telemetry.Counter
+}
+
+// roadSceneSeed fixes the shared road texture; like eval.Env, "the
+// location" stays constant so results are comparable across processes.
+const roadSceneSeed = 7
+
+// NewExecutor builds the evaluation core around a trained detector, cloning
+// one replica per worker and starting the pool. The caller keeps ownership
+// of det; the executor never runs inference on it. A nil registry gets a
+// fresh one (see Metrics).
+func NewExecutor(det *yolo.Model, cfg Config, reg *telemetry.Registry) *Executor {
+	cfg.fillDefaults()
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	e := &Executor{
+		cfg:   cfg,
+		reg:   reg,
+		cam:   scene.DefaultCamera(),
+		cache: newLRUCache(cfg.CacheSize),
+		jobs:  make(chan *task, cfg.QueueSize),
+
+		queueDepth:  reg.Gauge("serve_queue_depth", "jobs waiting in the bounded queue", nil),
+		inflight:    reg.Gauge("serve_inflight_jobs", "jobs currently executing on workers", nil),
+		cacheHits:   reg.Counter("serve_cache_hits_total", "evaluate requests answered from the result cache", nil),
+		cacheMisses: reg.Counter("serve_cache_misses_total", "evaluate requests that had to run", nil),
+		rejected:    reg.Counter("serve_rejected_total", "requests rejected with 429 (queue full)", nil),
+		panics:      reg.Counter("serve_job_panics_total", "jobs that panicked and were converted to errors", nil),
+	}
+	reg.Gauge("serve_workers", "worker pool size", nil).Set(float64(cfg.Workers))
+	reg.Gauge("serve_queue_capacity", "bounded job queue capacity", nil).Set(float64(cfg.QueueSize))
+	// The hit ratio is derived at scrape time from the live counters, so
+	// /metrics exposes cache-affinity quality without a second bookkeeping
+	// path that could drift from the counters.
+	reg.GaugeFunc("serve_cache_hit_ratio", "fraction of evaluate lookups served from the result cache", nil,
+		func() float64 {
+			h, m := e.cacheHits.Value(), e.cacheMisses.Value()
+			if h+m == 0 {
+				return 0
+			}
+			return float64(h) / float64(h+m)
+		})
+
+	// The two locations evaluation requests can name. Built once: painting
+	// the target arrow mutates the ground, but after this the scenes are
+	// read-only (Deploy composites onto a clone of the texture).
+	road := scene.NewRoad(rand.New(rand.NewSource(roadSceneSeed)), 8, 30, 0.05)
+	sim := scene.NewSimRoom(8, 30, 0.05)
+	e.scenes = map[string]attack.Scene{
+		"road": attack.NewArrowScene(road, 0, 15, 1.8),
+		"sim":  attack.NewArrowScene(sim, 0, 15, 1.8),
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		replica := det.Clone()
+		replica.SetTraining(false)
+		e.wg.Add(1)
+		go e.worker(replica)
+	}
+	return e
+}
+
+// Metrics exposes the registry the executor's counters live in.
+func (e *Executor) Metrics() *telemetry.Registry { return e.reg }
+
+// Workers reports the pool size.
+func (e *Executor) Workers() int { return e.cfg.Workers }
+
+// QueueDepth reports the number of queued (not yet running) jobs.
+func (e *Executor) QueueDepth() int { return len(e.jobs) }
+
+// QueueCapacity reports the bounded queue capacity.
+func (e *Executor) QueueCapacity() int { return cap(e.jobs) }
+
+// Inflight reports the number of jobs currently executing on workers.
+func (e *Executor) Inflight() int { return int(e.inflight.Value()) }
+
+// CachedResults reports the number of entries in the result cache.
+func (e *Executor) CachedResults() int { return e.cache.len() }
+
+// Draining reports whether Close has begun; new submissions are refused.
+func (e *Executor) Draining() bool {
+	e.drainMu.RLock()
+	defer e.drainMu.RUnlock()
+	return e.draining
+}
+
+// RetryAfterSeconds estimates how long a rejected caller should wait before
+// the queue has drained: queued work divided by pool parallelism, scaled by
+// the observed per-job wall time. Clamped to [1,60] so the hint is always
+// usable in a Retry-After header.
+func (e *Executor) RetryAfterSeconds() int {
+	per := math.Float64frombits(e.jobSeconds.Load())
+	if per <= 0 {
+		per = 1
+	}
+	pending := float64(len(e.jobs) + 1)
+	sec := int(math.Ceil(per * pending / float64(e.cfg.Workers)))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// observeJobSeconds folds one job duration into the EWMA behind
+// RetryAfterSeconds.
+func (e *Executor) observeJobSeconds(d time.Duration) {
+	const alpha = 0.3
+	s := d.Seconds()
+	for {
+		old := e.jobSeconds.Load()
+		prev := math.Float64frombits(old)
+		next := s
+		if prev > 0 {
+			next = alpha*s + (1-alpha)*prev
+		}
+		if e.jobSeconds.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Evaluate runs one scenario evaluation (or serves it from the cache),
+// applying the configured per-job deadline on top of ctx. Validation
+// failures are reported wrapped in ErrBadRequest; capacity exhaustion as
+// ErrQueueFull; drain as ErrShuttingDown.
+func (e *Executor) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse, error) {
+	p, target, err := req.normalize()
+	if err != nil {
+		return EvalResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	key := req.cacheKey()
+	if d, ok := e.cache.get(key); ok {
+		e.cacheHits.Inc()
+		resp := detailToResponse(d.(eval.Detail))
+		resp.Cached = true
+		return resp, nil
+	}
+	e.cacheMisses.Inc()
+
+	cond := eval.DefaultCondition()
+	if req.Mode == "digital" {
+		cond = eval.Digital()
+	}
+	cond.Runs = req.Runs
+	cond.Seed = req.Seed
+
+	job := eval.Job{
+		Cam:    e.cam,
+		Scene:  e.scenes[req.Scene],
+		Patch:  p,
+		Target: target,
+		Ch:     scene.Challenges(req.Challenge)[0],
+		Cond:   cond,
+	}
+	ctx, cancel := context.WithTimeout(ctx, e.cfg.JobTimeout)
+	defer cancel()
+	v, err := e.submit(ctx, func(det *yolo.Model) (any, error) {
+		j := job
+		j.Det = det
+		return e.cfg.Job(j)
+	})
+	if err != nil {
+		return EvalResponse{}, err
+	}
+	detail := v.(eval.Detail)
+	e.cache.put(key, detail)
+	return detailToResponse(detail), nil
+}
+
+// Detect runs one rendered frame through a worker's detector replica.
+func (e *Executor) Detect(ctx context.Context, req DetectRequest) (DetectResponse, error) {
+	if err := req.validate(); err != nil {
+		return DetectResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, e.cfg.JobTimeout)
+	defer cancel()
+	v, err := e.submit(ctx, func(det *yolo.Model) (any, error) {
+		img := tensor.FromSlice(req.Image, 1, 3, req.Height, req.Width)
+		heads := det.Forward(img)
+		return det.DecodeSample(heads, 0, yolo.DefaultDecode()), nil
+	})
+	if err != nil {
+		return DetectResponse{}, err
+	}
+	return DetectResponse{Detections: toWireDetections(v.([]yolo.Detection))}, nil
+}
+
+// Close drains the pool: refuse new submissions, close the queue, and wait
+// for the workers to empty it. Idempotent; safe to call from multiple
+// owners.
+func (e *Executor) Close(context.Context) error {
+	e.drainMu.Lock()
+	already := e.draining
+	e.draining = true
+	if !already {
+		close(e.jobs)
+	}
+	e.drainMu.Unlock()
+	e.wg.Wait()
+	return nil
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"roadtrojan/internal/yolo"
 )
 
 // ErrQueueFull is returned by submit when the bounded job queue is at
-// capacity; the HTTP layer maps it to 429 Too Many Requests.
+// capacity; the HTTP layer maps it to 429 Too Many Requests and the fabric
+// node to a queue_full frame.
 var ErrQueueFull = errors.New("serve: job queue full")
 
 // ErrShuttingDown is returned by submit once drain has begun; the HTTP
@@ -33,20 +35,21 @@ type taskResult struct {
 // submit enqueues work without blocking: a full queue is backpressure, not
 // a wait. It then blocks until a worker finishes the task or the request
 // context expires.
-func (s *Server) submit(ctx context.Context, run func(det *yolo.Model) (any, error)) (any, error) {
+func (e *Executor) submit(ctx context.Context, run func(det *yolo.Model) (any, error)) (any, error) {
 	t := &task{ctx: ctx, run: run, done: make(chan taskResult, 1)}
 
-	s.drainMu.RLock()
-	if s.draining {
-		s.drainMu.RUnlock()
+	e.drainMu.RLock()
+	if e.draining {
+		e.drainMu.RUnlock()
 		return nil, ErrShuttingDown
 	}
 	select {
-	case s.jobs <- t:
-		s.drainMu.RUnlock()
-		s.queueDepth.Add(1)
+	case e.jobs <- t:
+		e.drainMu.RUnlock()
+		e.queueDepth.Add(1)
 	default:
-		s.drainMu.RUnlock()
+		e.drainMu.RUnlock()
+		e.rejected.Inc()
 		return nil, ErrQueueFull
 	}
 
@@ -60,23 +63,25 @@ func (s *Server) submit(ctx context.Context, run func(det *yolo.Model) (any, err
 
 // worker drains the job queue with its own detector replica until the queue
 // closes at shutdown.
-func (s *Server) worker(det *yolo.Model) {
-	defer s.wg.Done()
-	for t := range s.jobs {
-		s.queueDepth.Add(-1)
-		s.inflight.Add(1)
-		t.done <- s.runTask(t, det)
-		s.inflight.Add(-1)
+func (e *Executor) worker(det *yolo.Model) {
+	defer e.wg.Done()
+	for t := range e.jobs {
+		e.queueDepth.Add(-1)
+		e.inflight.Add(1)
+		start := time.Now()
+		t.done <- e.runTask(t, det)
+		e.observeJobSeconds(time.Since(start))
+		e.inflight.Add(-1)
 	}
 }
 
 // runTask executes one task, converting an expired deadline into an error
 // without running the job, and a job panic into an error instead of killing
 // the worker.
-func (s *Server) runTask(t *task, det *yolo.Model) (res taskResult) {
+func (e *Executor) runTask(t *task, det *yolo.Model) (res taskResult) {
 	defer func() {
 		if p := recover(); p != nil {
-			s.panics.Inc()
+			e.panics.Inc()
 			res = taskResult{err: fmt.Errorf("serve: job panicked: %v", p)}
 		}
 	}()

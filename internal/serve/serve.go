@@ -1,11 +1,14 @@
 // Package serve is the concurrent patch-evaluation service: the paper's
-// render → detect → PWC/CWC loop behind an HTTP API. A fixed-size worker
-// pool owns one deep-cloned detector replica per worker (internal/nn
-// modules cache activations during Forward, so a shared model is not
-// reentrant), a bounded job queue applies backpressure with 429s instead of
-// unbounded latency, an LRU cache short-circuits repeated evaluations of
-// the same (patch, scene, challenge, seed) tuple, and internal/telemetry
-// exposes counters/gauges/latency histograms on GET /metrics.
+// render → detect → PWC/CWC loop behind an HTTP API. The execution core
+// lives in Executor — a fixed-size worker pool owning one deep-cloned
+// detector replica per worker (internal/nn modules cache activations during
+// Forward, so a shared model is not reentrant), a bounded job queue that
+// applies backpressure with 429s instead of unbounded latency, and an LRU
+// cache that short-circuits repeated evaluations of the same (patch, scene,
+// challenge, seed) tuple. Server is the HTTP transport over that core;
+// internal/fabric's node is the framed-protocol transport over the same
+// core. internal/telemetry exposes counters/gauges/latency histograms on
+// GET /metrics.
 //
 // Endpoints:
 //
@@ -20,20 +23,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync"
 	"time"
 
-	"roadtrojan/internal/attack"
 	"roadtrojan/internal/eval"
 	"roadtrojan/internal/obs"
-	"roadtrojan/internal/scene"
 	"roadtrojan/internal/telemetry"
-	"roadtrojan/internal/tensor"
 	"roadtrojan/internal/yolo"
 )
 
@@ -82,75 +80,37 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// roadSceneSeed fixes the shared road texture; like eval.Env, "the
-// location" stays constant so results are comparable across processes.
-const roadSceneSeed = 7
-
-// Server owns the worker pool, the scenes, the result cache, and the
-// telemetry registry.
+// Server is the HTTP transport over an Executor.
 type Server struct {
-	cfg    Config
-	reg    *telemetry.Registry
-	cam    scene.Camera
-	scenes map[string]attack.Scene
-	cache  *lruCache
-	jobs   chan *task
-	wg     sync.WaitGroup
-
-	drainMu  sync.RWMutex
-	draining bool
-
+	cfg     Config
+	exec    *Executor
+	reg     *telemetry.Registry
+	ownExec bool
 	httpSrv *http.Server
-
-	queueDepth  *telemetry.Gauge
-	inflight    *telemetry.Gauge
-	cacheHits   *telemetry.Counter
-	cacheMisses *telemetry.Counter
-	rejected    *telemetry.Counter
-	panics      *telemetry.Counter
 }
 
 // New builds the service around a trained detector, cloning one replica per
 // worker and starting the pool. The caller keeps ownership of det; the
-// server never runs inference on it.
+// server never runs inference on it. The executor is owned: Shutdown drains
+// it.
 func New(det *yolo.Model, cfg Config) *Server {
 	cfg.fillDefaults()
-	reg := telemetry.NewRegistry()
-	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		cam:   scene.DefaultCamera(),
-		cache: newLRUCache(cfg.CacheSize),
-		jobs:  make(chan *task, cfg.QueueSize),
-
-		queueDepth:  reg.Gauge("serve_queue_depth", "jobs waiting in the bounded queue", nil),
-		inflight:    reg.Gauge("serve_inflight_jobs", "jobs currently executing on workers", nil),
-		cacheHits:   reg.Counter("serve_cache_hits_total", "evaluate requests answered from the result cache", nil),
-		cacheMisses: reg.Counter("serve_cache_misses_total", "evaluate requests that had to run", nil),
-		rejected:    reg.Counter("serve_rejected_total", "requests rejected with 429 (queue full)", nil),
-		panics:      reg.Counter("serve_job_panics_total", "jobs that panicked and were converted to errors", nil),
-	}
-	reg.Gauge("serve_workers", "worker pool size", nil).Set(float64(cfg.Workers))
-	reg.Gauge("serve_queue_capacity", "bounded job queue capacity", nil).Set(float64(cfg.QueueSize))
-
-	// The two locations evaluation requests can name. Built once: painting
-	// the target arrow mutates the ground, but after this the scenes are
-	// read-only (Deploy composites onto a clone of the texture).
-	road := scene.NewRoad(rand.New(rand.NewSource(roadSceneSeed)), 8, 30, 0.05)
-	sim := scene.NewSimRoom(8, 30, 0.05)
-	s.scenes = map[string]attack.Scene{
-		"road": attack.NewArrowScene(road, 0, 15, 1.8),
-		"sim":  attack.NewArrowScene(sim, 0, 15, 1.8),
-	}
-
-	for i := 0; i < cfg.Workers; i++ {
-		replica := det.Clone()
-		replica.SetTraining(false)
-		s.wg.Add(1)
-		go s.worker(replica)
-	}
+	s := NewWith(NewExecutor(det, cfg, nil), cfg)
+	s.ownExec = true
 	return s
 }
+
+// NewWith wraps an existing executor — the path cmd/servd uses to share one
+// pool between the HTTP server and a fabric node. The caller keeps
+// ownership of exec: Shutdown stops the listener but does not drain the
+// pool.
+func NewWith(exec *Executor, cfg Config) *Server {
+	cfg.fillDefaults()
+	return &Server{cfg: cfg, exec: exec, reg: exec.Metrics()}
+}
+
+// Executor exposes the execution core (for embedding a second transport).
+func (s *Server) Executor() *Executor { return s.exec }
 
 // Handler returns the service mux (for embedding or tests).
 func (s *Server) Handler() http.Handler {
@@ -188,21 +148,17 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains gracefully: stop accepting, let in-flight handlers finish
-// (bounded by ctx), then close the queue and wait for the workers to empty
-// it. Safe to call once; submit returns ErrShuttingDown afterwards.
+// (bounded by ctx), then — when the executor is owned — close the queue and
+// wait for the workers to empty it. Safe to call once; submissions return
+// ErrShuttingDown afterwards.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var httpErr error
 	if s.httpSrv != nil {
 		httpErr = s.httpSrv.Shutdown(ctx)
 	}
-	s.drainMu.Lock()
-	already := s.draining
-	s.draining = true
-	if !already {
-		close(s.jobs)
+	if s.ownExec {
+		_ = s.exec.Close(ctx)
 	}
-	s.drainMu.Unlock()
-	s.wg.Wait()
 	return httpErr
 }
 
@@ -238,111 +194,67 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeSubmitError maps pool errors to HTTP statuses.
-func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+// writeExecError maps executor errors to HTTP statuses. Queue-full
+// rejections carry a Retry-After hint sized from the observed job rate, so
+// well-behaved clients (and the fabric gateway's backpressure path) know
+// when capacity is likely back.
+func (s *Server) writeExecError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, ErrQueueFull):
-		s.rejected.Inc()
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		w.Header().Set("Retry-After", strconv.Itoa(s.exec.RetryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, ErrShuttingDown):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 	}
 }
 
 // handleDetect runs one frame through a worker's detector replica.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
 		return
 	}
-	var req detectRequest
+	var req DetectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	if err := req.validate(); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
-	defer cancel()
-	v, err := s.submit(ctx, func(det *yolo.Model) (any, error) {
-		img := tensor.FromSlice(req.Image, 1, 3, req.Height, req.Width)
-		heads := det.Forward(img)
-		return det.DecodeSample(heads, 0, yolo.DefaultDecode()), nil
-	})
+	resp, err := s.exec.Detect(r.Context(), req)
 	if err != nil {
-		s.writeSubmitError(w, err)
+		s.writeExecError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, detectResponse{Detections: toWireDetections(v.([]yolo.Detection))})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleEvaluate runs a full scenario evaluation, serving repeats from the
 // LRU cache.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
 		return
 	}
-	var req evaluateRequest
+	var req EvalRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	p, target, err := req.normalize()
+	resp, err := s.exec.Evaluate(r.Context(), req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeExecError(w, err)
 		return
 	}
-
-	key := req.cacheKey()
-	if d, ok := s.cache.get(key); ok {
-		s.cacheHits.Inc()
-		resp := detailToResponse(d.(eval.Detail))
-		resp.Cached = true
-		writeJSON(w, http.StatusOK, resp)
-		return
-	}
-	s.cacheMisses.Inc()
-
-	cond := eval.DefaultCondition()
-	if req.Mode == "digital" {
-		cond = eval.Digital()
-	}
-	cond.Runs = req.Runs
-	cond.Seed = req.Seed
-
-	job := eval.Job{
-		Cam:    s.cam,
-		Scene:  s.scenes[req.Scene],
-		Patch:  p,
-		Target: target,
-		Ch:     scene.Challenges(req.Challenge)[0],
-		Cond:   cond,
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
-	defer cancel()
-	v, err := s.submit(ctx, func(det *yolo.Model) (any, error) {
-		j := job
-		j.Det = det
-		return s.cfg.Job(j)
-	})
-	if err != nil {
-		s.writeSubmitError(w, err)
-		return
-	}
-	detail := v.(eval.Detail)
-	s.cache.put(key, detail)
-	writeJSON(w, http.StatusOK, detailToResponse(detail))
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func detailToResponse(d eval.Detail) evaluateResponse {
-	return evaluateResponse{
+func detailToResponse(d eval.Detail) EvalResponse {
+	return EvalResponse{
 		PWC:        d.Score.PWC,
 		CWC:        d.Score.CWC,
 		Frames:     d.Score.Frames,
@@ -356,9 +268,9 @@ func detailToResponse(d eval.Detail) evaluateResponse {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"workers":        s.cfg.Workers,
-		"queue_depth":    len(s.jobs),
-		"queue_capacity": cap(s.jobs),
-		"cached_results": s.cache.len(),
+		"workers":        s.exec.Workers(),
+		"queue_depth":    s.exec.QueueDepth(),
+		"queue_capacity": s.exec.QueueCapacity(),
+		"cached_results": s.exec.CachedResults(),
 	})
 }

@@ -96,7 +96,7 @@ func serialScenes() map[string]attack.Scene {
 
 // serialEvaluate runs the same job the server would, on a private replica.
 func serialEvaluate(t *testing.T, det *yolo.Model, scenes map[string]attack.Scene,
-	req evaluateRequest) evaluateResponse {
+	req EvalRequest) EvalResponse {
 	t.Helper()
 	p, target, err := req.normalize()
 	if err != nil {
@@ -152,9 +152,9 @@ func TestConcurrentEvaluateMatchesSerial(t *testing.T) {
 	_, ts := startServer(t, det, Config{Workers: 4, QueueSize: 32})
 
 	patchB64 := encodePatchB64(t, testPatch(t))
-	reqs := make([]evaluateRequest, 8)
+	reqs := make([]EvalRequest, 8)
 	for i := range reqs {
-		reqs[i] = evaluateRequest{
+		reqs[i] = EvalRequest{
 			Scene: "road", Challenge: "fix", Mode: "digital",
 			Runs: 1, Seed: int64(100 + i),
 		}
@@ -170,12 +170,12 @@ func TestConcurrentEvaluateMatchesSerial(t *testing.T) {
 
 	// Serial references first, on private replicas of the same detector.
 	scenes := serialScenes()
-	want := make([]evaluateResponse, len(reqs))
+	want := make([]EvalResponse, len(reqs))
 	for i, r := range reqs {
 		want[i] = serialEvaluate(t, det, scenes, r)
 	}
 
-	got := make([]evaluateResponse, len(reqs))
+	got := make([]EvalResponse, len(reqs))
 	var wg sync.WaitGroup
 	for i := range reqs {
 		wg.Add(1)
@@ -218,7 +218,7 @@ func TestEvaluateCacheHit(t *testing.T) {
 	det := testDetector(t)
 	s, ts := startServer(t, det, Config{Workers: 2})
 
-	req := evaluateRequest{Scene: "road", Challenge: "fix", Mode: "digital",
+	req := EvalRequest{Scene: "road", Challenge: "fix", Mode: "digital",
 		Runs: 1, Seed: 42, Target: int(scene.Car)}
 
 	_, body1 := postJSON(t, ts.URL+"/v1/evaluate", req)
@@ -226,7 +226,7 @@ func TestEvaluateCacheHit(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("second request: %d: %s", resp2.StatusCode, body2)
 	}
-	var first, second evaluateResponse
+	var first, second EvalResponse
 	if err := json.Unmarshal(body1, &first); err != nil {
 		t.Fatal(err)
 	}
@@ -243,8 +243,8 @@ func TestEvaluateCacheHit(t *testing.T) {
 	if !reflect.DeepEqual(first, second) {
 		t.Errorf("cached result differs:\n got %+v\nwant %+v", second, first)
 	}
-	if s.cacheHits.Value() != 1 || s.cacheMisses.Value() != 1 {
-		t.Errorf("cache hit/miss = %d/%d, want 1/1", s.cacheHits.Value(), s.cacheMisses.Value())
+	if s.exec.cacheHits.Value() != 1 || s.exec.cacheMisses.Value() != 1 {
+		t.Errorf("cache hit/miss = %d/%d, want 1/1", s.exec.cacheHits.Value(), s.exec.cacheMisses.Value())
 	}
 }
 
@@ -267,7 +267,7 @@ func TestQueueOverflowReturns429(t *testing.T) {
 	var wg sync.WaitGroup
 	fire := func(seed int64, codes chan<- int) {
 		defer wg.Done()
-		resp, _ := postJSON(t, ts.URL+"/v1/evaluate", evaluateRequest{
+		resp, _ := postJSON(t, ts.URL+"/v1/evaluate", EvalRequest{
 			Scene: "road", Challenge: "fix", Runs: 1, Seed: seed, Target: int(scene.Car)})
 		codes <- resp.StatusCode
 	}
@@ -310,7 +310,7 @@ func TestDetectEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := detectRequest{
+	req := DetectRequest{
 		Image:  append([]float64(nil), frame.Data()...),
 		Height: frame.Dim(1), Width: frame.Dim(2),
 	}
@@ -318,7 +318,7 @@ func TestDetectEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var got detectResponse
+	var got DetectResponse
 	if err := json.Unmarshal(body, &got); err != nil {
 		t.Fatal(err)
 	}
@@ -342,13 +342,13 @@ func TestBadRequests(t *testing.T) {
 
 	cases := []struct {
 		name string
-		req  evaluateRequest
+		req  EvalRequest
 	}{
-		{"unknown challenge", evaluateRequest{Scene: "road", Challenge: "warp9", Target: int(scene.Car)}},
-		{"unknown scene", evaluateRequest{Scene: "moon", Challenge: "fix", Target: int(scene.Car)}},
-		{"missing target without patch", evaluateRequest{Scene: "road", Challenge: "fix"}},
-		{"bad base64 patch", evaluateRequest{Scene: "road", Challenge: "fix", Patch: "!!!"}},
-		{"runs out of range", evaluateRequest{Scene: "road", Challenge: "fix", Runs: 999, Target: int(scene.Car)}},
+		{"unknown challenge", EvalRequest{Scene: "road", Challenge: "warp9", Target: int(scene.Car)}},
+		{"unknown scene", EvalRequest{Scene: "moon", Challenge: "fix", Target: int(scene.Car)}},
+		{"missing target without patch", EvalRequest{Scene: "road", Challenge: "fix"}},
+		{"bad base64 patch", EvalRequest{Scene: "road", Challenge: "fix", Patch: "!!!"}},
+		{"runs out of range", EvalRequest{Scene: "road", Challenge: "fix", Runs: 999, Target: int(scene.Car)}},
 	}
 	for _, tc := range cases {
 		resp, body := postJSON(t, ts.URL+"/v1/evaluate", tc.req)
@@ -357,7 +357,7 @@ func TestBadRequests(t *testing.T) {
 		}
 	}
 
-	resp, _ := postJSON(t, ts.URL+"/v1/detect", detectRequest{Image: []float64{1, 2}, Height: 4, Width: 4})
+	resp, _ := postJSON(t, ts.URL+"/v1/detect", DetectRequest{Image: []float64{1, 2}, Height: 4, Width: 4})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("short image: status %d, want 400", resp.StatusCode)
 	}
@@ -389,7 +389,7 @@ func TestJobPanicBecomes500(t *testing.T) {
 			return eval.Detail{}, nil
 		},
 	})
-	req := evaluateRequest{Scene: "road", Challenge: "fix", Runs: 1, Seed: 1, Target: int(scene.Car)}
+	req := EvalRequest{Scene: "road", Challenge: "fix", Runs: 1, Seed: 1, Target: int(scene.Car)}
 	resp, body := postJSON(t, ts.URL+"/v1/evaluate", req)
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("panicking job: status %d (%s), want 500", resp.StatusCode, body)
@@ -446,7 +446,7 @@ func TestShutdownDrains(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		resp, body := postJSON(t, ts.URL+"/v1/evaluate", evaluateRequest{
+		resp, body := postJSON(t, ts.URL+"/v1/evaluate", EvalRequest{
 			Scene: "road", Challenge: "fix", Runs: 1, Seed: 9, Target: int(scene.Car)})
 		inflightCode, inflightBody = resp.StatusCode, body
 	}()
@@ -469,7 +469,7 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatalf("in-flight request during drain: status %d (%s), want 200", inflightCode, inflightBody)
 	}
 
-	resp, _ := postJSON(t, ts.URL+"/v1/evaluate", evaluateRequest{
+	resp, _ := postJSON(t, ts.URL+"/v1/evaluate", EvalRequest{
 		Scene: "road", Challenge: "fix", Runs: 1, Seed: 10, Target: int(scene.Car)})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-shutdown request: status %d, want 503", resp.StatusCode)
@@ -496,5 +496,84 @@ func TestPatchWireRoundTrip(t *testing.T) {
 	}
 	if _, err := attack.DecodePatch([]byte("garbage")); err == nil {
 		t.Error("DecodePatch accepted garbage")
+	}
+}
+
+// TestQueueOverflowRetryAfterHeader: a 429 must carry a usable Retry-After
+// so well-behaved clients (and the fabric gateway) know when to come back.
+func TestQueueOverflowRetryAfterHeader(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	det := testDetector(t)
+	s, ts := startServer(t, det, Config{
+		Workers: 1, QueueSize: 1,
+		Job: func(eval.Job) (eval.Detail, error) {
+			started <- struct{}{}
+			<-release
+			return eval.Detail{}, nil
+		},
+	})
+	var releaseOnce sync.Once
+	releaseAll := func() { releaseOnce.Do(func() { close(release) }) }
+	defer releaseAll()
+
+	var wg sync.WaitGroup
+	for seed := int64(1); seed <= 2; seed++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			postJSON(t, ts.URL+"/v1/evaluate", EvalRequest{
+				Scene: "road", Challenge: "fix", Runs: 1, Seed: seed, Target: int(scene.Car)})
+		}(seed)
+	}
+	<-started // worker busy
+	deadline := time.Now().Add(10 * time.Second)
+	for s.exec.QueueDepth() != 1 { // queue slot taken
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/evaluate", EvalRequest{
+		Scene: "road", Challenge: "fix", Runs: 1, Seed: 99, Target: int(scene.Car)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 60 {
+		t.Errorf("Retry-After = %q, want integer in [1,60]", resp.Header.Get("Retry-After"))
+	}
+	releaseAll()
+	wg.Wait()
+}
+
+// TestCacheHitRatioMetric: the derived gauge on /metrics tracks the live
+// hit/miss counters.
+func TestCacheHitRatioMetric(t *testing.T) {
+	det := testDetector(t)
+	_, ts := startServer(t, det, Config{Workers: 2})
+	req := EvalRequest{Scene: "road", Challenge: "fix", Mode: "digital",
+		Runs: 1, Seed: 77, Target: int(scene.Car)}
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if out := scrape(); !regexp.MustCompile(`serve_cache_hit_ratio 0\n`).MatchString(out) {
+		t.Fatalf("cold cache should expose ratio 0:\n%s", out)
+	}
+	postJSON(t, ts.URL+"/v1/evaluate", req) // miss
+	postJSON(t, ts.URL+"/v1/evaluate", req) // hit
+	if out := scrape(); !regexp.MustCompile(`serve_cache_hit_ratio 0\.5\n`).MatchString(out) {
+		t.Fatalf("after 1 hit / 1 miss, want ratio 0.5:\n%s", out)
 	}
 }

@@ -12,15 +12,15 @@ import (
 	"roadtrojan/internal/yolo"
 )
 
-// detectRequest is the POST /v1/detect body: one rendered [3,H,W] frame in
-// [0,1], flattened channel-major.
-type detectRequest struct {
+// DetectRequest is the POST /v1/detect body: one rendered [3,H,W] frame in
+// [0,1], flattened channel-major. It is also the fabric detect-job payload.
+type DetectRequest struct {
 	Image  []float64 `json:"image"`
 	Height int       `json:"height"`
 	Width  int       `json:"width"`
 }
 
-func (r *detectRequest) validate() error {
+func (r *DetectRequest) validate() error {
 	if r.Height <= 0 || r.Width <= 0 {
 		return fmt.Errorf("height and width must be positive, got %dx%d", r.Height, r.Width)
 	}
@@ -51,8 +51,8 @@ type wireDetection struct {
 	Box        wireBox `json:"box"`
 }
 
-// detectResponse is the POST /v1/detect reply.
-type detectResponse struct {
+// DetectResponse is the POST /v1/detect reply.
+type DetectResponse struct {
 	Detections []wireDetection `json:"detections"`
 }
 
@@ -69,10 +69,11 @@ func toWireDetections(dets []yolo.Detection) []wireDetection {
 	return out
 }
 
-// evaluateRequest is the POST /v1/evaluate body. Patch is the base64 of
-// attack.EncodePatch output (a SavePatch file image); empty means the
-// no-attack baseline, which then requires Target.
-type evaluateRequest struct {
+// EvalRequest is the POST /v1/evaluate body and the fabric eval-job
+// payload. Patch is the base64 of attack.EncodePatch output (a SavePatch
+// file image); empty means the no-attack baseline, which then requires
+// Target.
+type EvalRequest struct {
 	Patch     string `json:"patch,omitempty"`
 	Scene     string `json:"scene"`     // road | sim
 	Challenge string `json:"challenge"` // one of scene.AllChallengeNames
@@ -87,7 +88,7 @@ const maxRuns = 16
 
 // normalize validates the request and decodes the patch payload. It returns
 // the patch (nil for no-attack) and the resolved target class.
-func (r *evaluateRequest) normalize() (*attack.Patch, scene.Class, error) {
+func (r *EvalRequest) normalize() (*attack.Patch, scene.Class, error) {
 	if r.Scene == "" {
 		r.Scene = "road"
 	}
@@ -139,9 +140,27 @@ func validChallenge(name string) bool {
 	return false
 }
 
+// Validate reports whether the request would pass normalization, without
+// decoding side effects the caller wants. The fabric gateway uses it to
+// reject malformed jobs at the edge instead of spending a node round-trip.
+// Note it mutates the receiver the same way normalization does (defaults
+// are filled in), so a validated request hashes and routes consistently.
+func (r *EvalRequest) Validate() error {
+	_, _, err := r.normalize()
+	return err
+}
+
+// Digest returns the patch content hash — the consistent-hashing key the
+// fabric gateway routes on, so repeated evaluations of one patch land on
+// the node whose result cache already holds its neighbors.
+func (r *EvalRequest) Digest() string {
+	sum := sha256.Sum256([]byte(r.Patch))
+	return fmt.Sprintf("%x", sum[:16])
+}
+
 // cacheKey identifies an evaluation result: patch content hash plus every
 // input that changes the outcome.
-func (r *evaluateRequest) cacheKey() string {
+func (r *EvalRequest) cacheKey() string {
 	sum := sha256.Sum256([]byte(r.Patch))
 	return fmt.Sprintf("%x|%s|%s|%s|%d|%d|%d", sum[:8], r.Scene, r.Challenge, r.Mode, r.Runs, r.Seed, r.Target)
 }
@@ -154,9 +173,9 @@ type wireFrame struct {
 	Confidence float64 `json:"confidence,omitempty"`
 }
 
-// evaluateResponse is the POST /v1/evaluate reply: the paper's PWC/CWC
+// EvalResponse is the POST /v1/evaluate reply: the paper's PWC/CWC
 // score plus each run's per-frame results.
-type evaluateResponse struct {
+type EvalResponse struct {
 	PWC        float64       `json:"pwc"`
 	CWC        bool          `json:"cwc"`
 	Frames     int           `json:"frames"`
@@ -183,7 +202,7 @@ func toWireFrames(runs [][]metrics.FrameResult) [][]wireFrame {
 	return out
 }
 
-// errorResponse is the JSON error envelope for every non-2xx reply.
-type errorResponse struct {
+// ErrorResponse is the JSON error envelope for every non-2xx reply.
+type ErrorResponse struct {
 	Error string `json:"error"`
 }

@@ -142,6 +142,7 @@ type series struct {
 	labels  string
 	counter *Counter
 	gauge   *Gauge
+	gaugeFn func() float64
 	hist    *Histogram
 }
 
@@ -210,6 +211,20 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	return s.gauge
 }
 
+// GaugeFunc registers a derived gauge: fn is evaluated at scrape time, so
+// the series always reflects the current value of whatever it is computed
+// from (e.g. a ratio of two live counters). fn must be safe for concurrent
+// use. Re-registering the same name+labels replaces the function.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if fn == nil {
+		panic("telemetry: nil GaugeFunc")
+	}
+	s := r.lookup(name, help, "gauge", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.gaugeFn = fn
+}
+
 // Histogram returns the histogram for name+labels, registering it on first
 // use with the given bucket bounds (nil = DefLatencyBuckets).
 func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
@@ -255,6 +270,9 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 	switch {
 	case s.counter != nil:
 		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+		return err
+	case s.gaugeFn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, s.gaugeFn())
 		return err
 	case s.gauge != nil:
 		_, err := fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, s.gauge.Value())

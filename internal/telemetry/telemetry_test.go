@@ -192,3 +192,45 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", n)
 	}
 }
+
+func TestGaugeFuncDerivedAtScrape(t *testing.T) {
+	r := NewRegistry()
+	hits := r.Counter("cache_hits_total", "h", nil)
+	misses := r.Counter("cache_misses_total", "m", nil)
+	r.GaugeFunc("cache_hit_ratio", "derived hit ratio", nil, func() float64 {
+		h, m := hits.Value(), misses.Value()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+
+	scrape := func() string {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if out := scrape(); !strings.Contains(out, "cache_hit_ratio 0\n") {
+		t.Fatalf("empty counters should scrape as 0:\n%s", out)
+	}
+	hits.Add(3)
+	misses.Inc()
+	// The function is evaluated at scrape time, not registration time.
+	out := scrape()
+	for _, want := range []string{"# TYPE cache_hit_ratio gauge", "cache_hit_ratio 0.75"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFuncNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil GaugeFunc should panic at registration")
+		}
+	}()
+	NewRegistry().GaugeFunc("broken", "b", nil, nil)
+}

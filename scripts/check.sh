@@ -27,6 +27,13 @@ echo "== golden journal + report"
 go test -count 1 -run 'TestTrainJournal' ./internal/attack
 go test -count 1 -run 'Golden' ./internal/obs ./cmd/runreport
 
+# Fabric smoke gate: a gateway fronting two real nodes over loopback TCP
+# must complete an evaluate round-trip and drain cleanly, under the race
+# detector. Fast and focused, so fabric wiring regressions fail here with
+# a readable name before the full suite runs.
+echo "== fabric smoke (gateway + 2 nodes)"
+go test -race -count 1 -run 'TestFabricSmoke' ./internal/fabric
+
 echo "== go test -race ./..."
 go test -race ./...
 
