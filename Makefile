@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the tier-1 verify path:
 # gofmt + build + vet + rtlint + race-enabled tests (scripts/check.sh).
 
-.PHONY: check build vet lint test race bench bench-tables serve report
+.PHONY: check build vet lint test race chaos bench bench-tables serve report
 
 check:
 	./scripts/check.sh
@@ -22,6 +22,13 @@ test:
 
 race:
 	go test -race ./...
+
+# Deterministic fault-injection suite: the chaos wrappers' own unit tests
+# plus the fabric scenarios (partition failover, breaker trips, WAL
+# replay, deadline propagation, membership churn). Seeds are fixed in the
+# tests, so every run sees the same fault schedule; always race-enabled.
+chaos:
+	go test -race -count 1 -run 'TestChaos' ./internal/chaos ./internal/fabric
 
 # Measure the tensor hot path against the preserved reference kernels and
 # refresh the committed perf record (see DESIGN.md "Performance"). Run on a

@@ -45,6 +45,12 @@ func run() error {
 		jobTable = flag.Int("jobs", 1024, "async job table capacity")
 		hbTO     = flag.Duration("heartbeat-timeout", 5*time.Second, "mark a silent node unavailable after this")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+
+		attemptTO = flag.Duration("attempt-timeout", 30*time.Second, "per-node round-trip bound; on expiry the job fails over to the next ring owner (0 disables)")
+		helloTO   = flag.Duration("hello-timeout", 3*time.Second, "Hello handshake bound after a dial; cuts off slow-loris peers")
+		brkThresh = flag.Int("breaker-threshold", 3, "consecutive transport failures that open a backend's circuit breaker")
+		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker wait before a half-open probe")
+		walPath   = flag.String("wal", "", "async-job journal path; replayed on restart (empty = no durability)")
 	)
 	flag.Parse()
 
@@ -59,12 +65,25 @@ func run() error {
 			"(start nodes with: go run ./cmd/servd -fabric :9091)")
 	}
 
+	var wal *fabric.WAL
+	if *walPath != "" {
+		var err error
+		if wal, err = fabric.OpenWAL(*walPath); err != nil {
+			return err
+		}
+	}
+
 	g := fabric.NewGateway(fabric.GatewayConfig{
 		Nodes:            fleet,
 		MaxAttempts:      *attempts,
 		JobTimeout:       *timeout,
 		JobTableSize:     *jobTable,
 		HeartbeatTimeout: *hbTO,
+		AttemptTimeout:   *attemptTO,
+		HelloTimeout:     *helloTO,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCool,
+		WAL:              wal,
 	})
 	g.Metrics().Gauge("roadtrojan_build_info", "build identity of this gatewayd process",
 		telemetry.Labels{"go_version": runtime.Version(), "module": "roadtrojan"}).Set(1)

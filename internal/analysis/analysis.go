@@ -84,7 +84,7 @@ func DefaultConfig(module string) *Config {
 			"metrics": true, "shapes": true, "optim": true, "imaging": true,
 			"physical": true, "defense": true, "core": true,
 		},
-		RandAllowlist:   map[string]bool{"serve": true, "telemetry": true, "obs": true, "fabric": true},
+		RandAllowlist:   map[string]bool{"serve": true, "telemetry": true, "obs": true, "fabric": true, "chaos": true},
 		FloatEqApproved: map[string]bool{},
 		PanicScope: func(p *Pkg) bool {
 			return strings.HasPrefix(p.Path, module+"/internal/")

@@ -1,0 +1,28 @@
+// Package chaos exercises the globalrand allowlist for the fault-injection
+// layer: fault schedules draw from per-connection seeded PRNGs (so runs
+// are byte-reproducible from one seed), while latency and slow-loris
+// faults necessarily sleep on the wall clock. Both are fine here — the
+// deterministic evaluation math never lives in this package.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// FaultParam resolves a PRNG-chosen fault parameter from a seeded
+// per-connection generator; seeded constructors are fine everywhere.
+func FaultParam(seed int64) byte {
+	rng := rand.New(rand.NewSource(seed))
+	return byte(1 + rng.Intn(255))
+}
+
+// HoldFrame injects real latency into a transfer; wall time is the point.
+func HoldFrame(d time.Duration) {
+	time.Sleep(d)
+}
+
+// Deadline stamps a slow-loris cutoff on the real clock; also fine here.
+func Deadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget)
+}

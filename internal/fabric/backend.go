@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"roadtrojan/internal/serve"
+	"roadtrojan/internal/telemetry"
 )
 
 // errBackendDown marks a transport-level failure (dial refused, connection
@@ -30,8 +31,9 @@ func (e *jobFailedError) Error() string { return "fabric: node error " + e.code 
 // framed connection with automatic redial, the pending-job table, and the
 // node's last health report.
 type backend struct {
-	g    *Gateway
-	addr string
+	g       *Gateway
+	addr    string
+	breaker *breaker
 
 	mu       sync.Mutex
 	conn     net.Conn
@@ -59,44 +61,104 @@ type jobReply struct {
 }
 
 func newBackend(g *Gateway, addr string) *backend {
-	return &backend{
-		g:         g,
-		addr:      addr,
+	b := &backend{
+		g:    g,
+		addr: addr,
+		breaker: newBreaker(g.cfg.BreakerThreshold, g.cfg.BreakerCooldown, g.clock,
+			g.reg.Counter("fabric_gateway_breaker_opens_total", "breaker closed→open transitions per backend",
+				telemetry.Labels{"node": addr})),
 		pending:   map[uint64]*pendingJob{},
 		removedCh: make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	g.reg.GaugeFunc("fabric_gateway_breaker_state", "per-backend circuit breaker state (0 closed, 1 open, 2 half-open)",
+		telemetry.Labels{"node": addr}, b.breaker.stateValue)
+	return b
 }
 
-// runLoop dials the node, pumps frames until the connection dies, and
-// redials with bounded backoff until the backend is removed or the gateway
-// closes.
+// runLoop dials the node, completes the Hello handshake, pumps frames
+// until the connection dies, and redials with bounded backoff — gated by
+// the circuit breaker, so a persistently failing peer costs one probe per
+// cooldown instead of a dial every backoff tick.
 func (b *backend) runLoop() {
 	defer close(b.done)
 	backoff := b.g.cfg.RedialBackoff
+	wait := func(d time.Duration) bool {
+		select {
+		case <-b.g.clock.After(d):
+			return true
+		case <-b.removedCh:
+			return false
+		case <-b.g.closed:
+			return false
+		}
+	}
 	for {
 		if b.isGone() {
 			return
 		}
-		conn, err := b.g.cfg.Dial(b.addr)
-		if err != nil {
-			select {
-			case <-b.g.clock.After(backoff):
-			case <-b.removedCh:
+		if ok, cooldown := b.breaker.ready(); !ok {
+			if !wait(cooldown) {
 				return
-			case <-b.g.closed:
-				return
-			}
-			if backoff *= 2; backoff > time.Second {
-				backoff = time.Second
 			}
 			continue
 		}
-		backoff = b.g.cfg.RedialBackoff
-		b.attach(conn)
-		b.readLoop(conn)
-		b.detach(conn)
+		conn, err := b.g.cfg.Dial(b.addr)
+		if err == nil {
+			var h Health
+			h, err = b.awaitHello(conn)
+			if err != nil {
+				conn.Close()
+			} else {
+				b.breaker.success()
+				backoff = b.g.cfg.RedialBackoff
+				b.attach(conn, h)
+				b.readLoop(conn)
+				b.detach(conn)
+				if b.isGone() {
+					return
+				}
+				// The connection died underneath us: one breaker strike.
+				b.breaker.failure()
+				continue
+			}
+		}
+		b.breaker.failure()
+		if !wait(backoff) {
+			return
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
 	}
+}
+
+// awaitHello reads the node's mandatory Hello frame, bounded by
+// HelloTimeout so a peer that accepts the dial but never speaks (or
+// trickles bytes slow-loris style) cannot hold the slot indefinitely. The
+// bound is a real read deadline on the socket — wall time by necessity —
+// which also keeps it effective under the virtual test clock.
+func (b *backend) awaitHello(conn net.Conn) (Health, error) {
+	if d := b.g.cfg.HelloTimeout; d > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(d))
+		defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		if errors.Is(err, ErrBadFrame) {
+			b.g.decodeErrors.Inc()
+		}
+		return Health{}, fmt.Errorf("fabric: hello from %s: %w", b.addr, err)
+	}
+	if f.Type != FrameHello {
+		return Health{}, fmt.Errorf("fabric: hello from %s: unexpected frame type %d", b.addr, f.Type)
+	}
+	var h Health
+	if err := json.Unmarshal(f.Payload, &h); err != nil {
+		b.g.decodeErrors.Inc()
+		return Health{}, fmt.Errorf("fabric: hello from %s: bad payload: %v", b.addr, err)
+	}
+	return h, nil
 }
 
 func (b *backend) isGone() bool {
@@ -110,14 +172,20 @@ func (b *backend) isGone() bool {
 	}
 }
 
-func (b *backend) attach(conn net.Conn) {
+// attach marks the backend routable. The Hello health report h was already
+// consumed by the handshake, so it is recorded here.
+func (b *backend) attach(conn net.Conn, h Health) {
 	b.mu.Lock()
 	b.conn = conn
 	b.up = true
 	b.draining = false
+	b.health = h
 	b.lastSeen = b.g.clock.Now()
 	b.mu.Unlock()
 	b.g.backendUp(b.addr, true)
+	if h.Draining {
+		b.markDraining()
+	}
 }
 
 // detach fails every pending job with errBackendDown so dispatch can retry
@@ -252,11 +320,23 @@ func (b *backend) remove() {
 	}
 }
 
-// roundTrip sends one job and blocks for its reply.
+// roundTrip sends one job and blocks for its reply. When ctx carries a
+// deadline the remaining budget rides along in a JobPayload envelope, so
+// the node can cancel work the gateway has already abandoned.
 func (b *backend) roundTrip(ctx context.Context, req serve.EvalRequest) ([]byte, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: encode job: %v", serve.ErrBadRequest, err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1 // expired budgets still travel: the node rejects instantly
+		}
+		payload, err = json.Marshal(JobPayload{TimeoutMs: ms, Req: payload})
+		if err != nil {
+			return nil, fmt.Errorf("%w: encode job envelope: %v", serve.ErrBadRequest, err)
+		}
 	}
 	id := b.g.jobSeq.Add(1)
 	pj := &pendingJob{done: make(chan jobReply, 1)}

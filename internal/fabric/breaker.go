@@ -1,0 +1,89 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+
+	"roadtrojan/internal/telemetry"
+)
+
+// Breaker states, exported through the fabric_gateway_breaker_state gauge.
+const (
+	breakerClosed   = 0 // normal operation
+	breakerOpen     = 1 // too many consecutive failures; dialing suppressed
+	breakerHalfOpen = 2 // cooldown elapsed; one probe connection in flight
+)
+
+// breaker is a per-backend circuit breaker guarding the gateway's dial and
+// handshake path. It replaces blind redial: after Threshold consecutive
+// transport failures (dial refused, Hello never completed, connection
+// death) the breaker opens and the backend stops burning dial attempts on
+// a peer that is clearly down. Once Cooldown elapses — measured on the
+// injected fabric.Clock so chaos tests can fast-forward it — a single
+// half-open probe is allowed; a completed Hello handshake closes the
+// breaker again, any failure snaps it back open for a fresh cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     Clock
+	opens     *telemetry.Counter
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, clock Clock, opens *telemetry.Counter) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, clock: clock, opens: opens}
+}
+
+// ready reports whether a connection attempt is allowed now, transitioning
+// an open breaker to half-open once the cooldown has elapsed. When the
+// breaker is still open it returns how long to wait before asking again.
+func (br *breaker) ready() (bool, time.Duration) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.state != breakerOpen {
+		return true, 0
+	}
+	remaining := br.cooldown - br.clock.Now().Sub(br.openedAt)
+	if remaining <= 0 {
+		br.state = breakerHalfOpen
+		return true, 0
+	}
+	return false, remaining
+}
+
+// success records a completed Hello handshake: the probe (or a regular
+// attempt) proved the peer healthy, so the breaker closes fully.
+func (br *breaker) success() {
+	br.mu.Lock()
+	br.state = breakerClosed
+	br.failures = 0
+	br.mu.Unlock()
+}
+
+// failure records one transport failure. A half-open probe failing, or the
+// consecutive-failure count reaching the threshold, opens the breaker and
+// restarts the cooldown.
+func (br *breaker) failure() {
+	br.mu.Lock()
+	br.failures++
+	if br.state == breakerHalfOpen || br.failures >= br.threshold {
+		if br.state != breakerOpen {
+			br.opens.Inc()
+		}
+		br.state = breakerOpen
+		br.failures = 0
+		br.openedAt = br.clock.Now()
+	}
+	br.mu.Unlock()
+}
+
+// stateValue returns the current state for the telemetry gauge.
+func (br *breaker) stateValue() float64 {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return float64(br.state)
+}

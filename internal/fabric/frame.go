@@ -25,6 +25,7 @@ package fabric
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -139,6 +140,21 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return f, nil
 }
 
+// JobPayload is the FrameJob payload envelope: the evaluation request plus
+// the gateway's remaining budget for it, so a node can cancel (or skip
+// dequeuing) work the gateway has already abandoned instead of burning a
+// worker slot on an answer nobody is waiting for. The budget is relative
+// (milliseconds), not an absolute time — gateway and node clocks are not
+// assumed synchronized. Nodes also accept a bare serve.EvalRequest payload
+// for compatibility with pre-envelope gateways.
+type JobPayload struct {
+	// TimeoutMs is the remaining job budget in milliseconds; 0 means no
+	// deadline.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Req is the serve.EvalRequest JSON.
+	Req json.RawMessage `json:"req"`
+}
+
 // Health is the Hello/Health frame payload: one node's identity and
 // capacity snapshot. The gateway routes and sheds load on it.
 type Health struct {
@@ -149,6 +165,10 @@ type Health struct {
 	Inflight      int    `json:"inflight"`
 	CachedResults int    `json:"cachedResults"`
 	Draining      bool   `json:"draining"`
+	// RetryAfter is the node's backoff hint in seconds, set only while its
+	// queue is full. The gateway's saturation replies surface the largest
+	// hint across the fleet.
+	RetryAfter int `json:"retryAfter,omitempty"`
 }
 
 // Job-error codes carried by FrameError payloads.
@@ -163,6 +183,9 @@ const (
 	CodeDraining = "draining"
 	// CodeInternal: the job ran and failed.
 	CodeInternal = "internal"
+	// CodeExpired: the job's propagated deadline passed before or during
+	// execution; the gateway may retry if its own budget remains.
+	CodeExpired = "expired"
 )
 
 // JobError is the FrameError payload.

@@ -29,6 +29,23 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(hugeLen)
 	f.Add([]byte{})
 	f.Add([]byte("RTFB"))
+	// Chaos-shaped corpora: every truncation point of a two-frame stream
+	// (mid-header, mid-payload, and at frame boundaries), and a single-bit
+	// flip at every position of a small valid frame — the wire images the
+	// fault injector's truncate and corrupt faults actually produce.
+	stream := AppendFrame(AppendFrame(nil, Frame{Type: FrameAck, JobID: 9}),
+		Frame{Type: FrameResult, JobID: 9, Payload: []byte(`{"pwc":0.5,"cached":false}`)})
+	for i := range stream {
+		f.Add(append([]byte(nil), stream[:i]...))
+	}
+	small := AppendFrame(nil, Frame{Type: FrameError, JobID: 2, Payload: []byte(`{"code":"x"}`)})
+	for i := range small {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte(nil), small...)
+			flipped[i] ^= 1 << bit
+			f.Add(flipped)
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)

@@ -36,9 +36,29 @@ type GatewayConfig struct {
 	// JobTimeout bounds one job end to end (including retries); 0 means
 	// 2 minutes.
 	JobTimeout time.Duration
+	// AttemptTimeout bounds a single node round-trip; when it expires the
+	// job fails over to the next ring owner instead of waiting out the
+	// whole JobTimeout on one hung backend. 0 disables the per-attempt
+	// bound (cmd/gatewayd defaults it to 30s).
+	AttemptTimeout time.Duration
+	// HelloTimeout bounds the Hello handshake after a dial: a peer that
+	// accepts the connection but never introduces itself is cut off.
+	// 0 means 3s.
+	HelloTimeout time.Duration
+	// BreakerThreshold is the consecutive transport failures that open a
+	// backend's circuit breaker; 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before allowing a
+	// half-open probe; 0 means 5s.
+	BreakerCooldown time.Duration
 	// JobTableSize bounds the async job table; 0 means 1024. A table full
 	// of incomplete jobs rejects new submissions with 429.
 	JobTableSize int
+	// WAL, when non-nil, journals every async job (submit/dispatch/result)
+	// and is replayed by NewGateway: finished jobs answer polls again and
+	// unfinished ones are re-dispatched. Open it with OpenWAL; the gateway
+	// takes ownership and closes it on Close.
+	WAL *WAL
 	// Dial opens a connection to a node address; nil means TCP with a 5s
 	// timeout. Tests inject loopback or in-memory dialers.
 	Dial func(addr string) (net.Conn, error)
@@ -63,6 +83,15 @@ func (c *GatewayConfig) fillDefaults() {
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 2 * time.Minute
+	}
+	if c.HelloTimeout <= 0 {
+		c.HelloTimeout = 3 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
 	}
 	if c.JobTableSize <= 0 {
 		c.JobTableSize = 1024
@@ -112,9 +141,12 @@ type Gateway struct {
 	jobOrder []string
 	asyncWG  sync.WaitGroup
 
+	wal *WAL
+
 	retries      *telemetry.Counter
 	saturated    *telemetry.Counter
 	decodeErrors *telemetry.Counter
+	walErrors    *telemetry.Counter
 }
 
 // NewGateway builds the front-end and starts dialing the configured nodes.
@@ -130,9 +162,12 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		backends: map[string]*backend{},
 		jobTable: map[string]*asyncJob{},
 
+		wal: cfg.WAL,
+
 		retries:      reg.Counter("fabric_gateway_retries_total", "jobs re-dispatched after a node failure", nil),
 		saturated:    reg.Counter("fabric_gateway_saturated_total", "jobs rejected because every shard's queue was full", nil),
 		decodeErrors: reg.Counter("fabric_gateway_frame_decode_errors_total", "malformed frames received from nodes", nil),
+		walErrors:    reg.Counter("fabric_gateway_wal_errors_total", "failed WAL appends (jobs proceed, durability degraded)", nil),
 	}
 	reg.GaugeFunc("fabric_gateway_ring_nodes", "physical nodes on the hash ring", nil,
 		func() float64 { return float64(g.ring.Len()) })
@@ -149,6 +184,9 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		})
 	for _, addr := range cfg.Nodes {
 		g.AddNode(addr)
+	}
+	if g.wal != nil {
+		g.replayWAL(g.wal.Records())
 	}
 	return g
 }
@@ -250,7 +288,14 @@ func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, 
 				sawDown = true
 				continue
 			}
-			payload, err := b.roundTrip(ctx, req)
+			attemptCtx, cancel := ctx, context.CancelFunc(nil)
+			if g.cfg.AttemptTimeout > 0 {
+				attemptCtx, cancel = context.WithTimeout(ctx, g.cfg.AttemptTimeout)
+			}
+			payload, err := b.roundTrip(attemptCtx, req)
+			if cancel != nil {
+				cancel()
+			}
 			if err == nil {
 				g.reg.Counter("fabric_gateway_node_jobs_total", "jobs completed per backend",
 					telemetry.Labels{"node": addr}).Inc()
@@ -267,7 +312,9 @@ func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, 
 					if jf.retryAfter > retryAfter {
 						retryAfter = jf.retryAfter
 					}
-				case CodeDraining:
+				case CodeDraining, CodeExpired:
+					// Expired means the node gave up on the propagated
+					// deadline; with job budget left the gateway fails over.
 					sawDown, lastErr = true, err
 				case CodeBadRequest:
 					return nil, fmt.Errorf("%w: %s", serve.ErrBadRequest, jf.msg)
@@ -276,8 +323,12 @@ func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, 
 					// another node would fail identically.
 					return nil, jf
 				}
+			case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+				// This attempt's budget expired, not the job's: the backend
+				// is hung, so treat it as down and fail over.
+				sawDown, lastErr = true, err
 			default:
-				return nil, err // context cancellation/deadline
+				return nil, err // job-level cancellation/deadline
 			}
 		}
 		if sawSaturated && !sawDown {
@@ -317,6 +368,9 @@ func (g *Gateway) Close(ctx context.Context) error {
 	go func() { g.asyncWG.Wait(); close(done) }()
 	select {
 	case <-done:
+		if g.wal != nil {
+			return g.wal.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("fabric: gateway drain: %w", ctx.Err())
@@ -428,21 +482,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeDispatchError maps dispatch failures onto the serve error surface.
+// Every body carries a machine-readable code alongside the message.
 func writeDispatchError(w http.ResponseWriter, err error) {
 	var sat *errSaturated
 	switch {
 	case errors.As(err, &sat):
 		w.Header().Set("Retry-After", strconv.Itoa(sat.retryAfter))
-		writeJSON(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: err.Error(), Code: serve.CodeSaturated})
 	case errors.Is(err, serve.ErrBadRequest):
-		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error(), Code: serve.CodeBadRequest})
 	case errors.Is(err, ErrNoBackends), errors.Is(err, ErrGatewayClosed), errors.Is(err, errBackendDown):
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error(), Code: serve.CodeUnavailable})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{Error: err.Error(), Code: serve.CodeTimeout})
 	default:
-		writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{Error: err.Error(), Code: serve.CodeInternal})
 	}
 }
 
@@ -451,16 +506,16 @@ func writeDispatchError(w http.ResponseWriter, err error) {
 // forwarded verbatim.
 func (g *Gateway) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "POST required"})
+		writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "POST required", Code: serve.CodeMethodNotAllowed})
 		return
 	}
 	var req serve.EvalRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "bad JSON: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "bad JSON: " + err.Error(), Code: serve.CodeBadRequest})
 		return
 	}
 	if err := req.Validate(); err != nil {
-		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error(), Code: serve.CodeBadRequest})
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.JobTimeout)
@@ -489,35 +544,88 @@ type jobStatusResponse struct {
 	Error  string          `json:"error,omitempty"`
 }
 
-// handleSubmit accepts a job asynchronously: validate at the edge, park it
-// in the bounded table, dispatch in the background, return the poll handle.
+// handleSubmit accepts a job asynchronously: validate at the edge, shed
+// load when the whole fleet is saturated (same 429 + Retry-After contract
+// as the sync path), journal it, park it in the bounded table, dispatch in
+// the background, return the poll handle.
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req serve.EvalRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "bad JSON: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "bad JSON: " + err.Error(), Code: serve.CodeBadRequest})
 		return
 	}
 	if err := req.Validate(); err != nil {
-		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error(), Code: serve.CodeBadRequest})
 		return
 	}
 	select {
 	case <-g.closed:
-		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: ErrGatewayClosed.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: ErrGatewayClosed.Error(), Code: serve.CodeShuttingDown})
 		return
 	default:
 	}
-	id := fmt.Sprintf("j%06d-%.8s", g.asyncSeq.Add(1), req.Digest())
+	if retryAfter, sat := g.fleetSaturated(); sat {
+		g.saturated.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeJSON(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: "fabric: all shards saturated", Code: serve.CodeSaturated})
+		return
+	}
+	seq := g.asyncSeq.Add(1)
+	id := fmt.Sprintf("j%06d-%.8s", seq, req.Digest())
 	job := &asyncJob{id: id, status: "pending"}
 	if !g.addJob(job) {
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: "fabric: job table full"})
+		writeJSON(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: "fabric: job table full", Code: serve.CodeSaturated})
 		return
 	}
+	if g.wal != nil {
+		// Validate normalized the request in place, so the journaled JSON
+		// re-validates and routes identically on replay.
+		reqJSON, err := json.Marshal(req)
+		if err == nil {
+			err = g.wal.Append(WALRecord{T: walSubmit, ID: id, Seq: seq, Digest: req.Digest(), Req: reqJSON})
+		}
+		if err != nil {
+			g.walErrors.Inc()
+		}
+	}
+	g.runAsync(job, req)
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Status: "pending"})
+}
+
+// fleetSaturated reports whether every routable backend's last health
+// report shows a full queue — the async-path analogue of dispatch's
+// errSaturated verdict, decided from heartbeats instead of a round-trip.
+// The hint returned is the largest RetryAfter any node advertised.
+func (g *Gateway) fleetSaturated() (retryAfter int, saturated bool) {
+	now := g.clock.Now()
+	routable, full := 0, 0
+	retryAfter = 1
+	for _, b := range g.allBackends() {
+		if !b.available(now) {
+			continue
+		}
+		routable++
+		h, _, _ := b.snapshot()
+		if h.QueueCapacity > 0 && h.QueueDepth >= h.QueueCapacity {
+			full++
+			if h.RetryAfter > retryAfter {
+				retryAfter = h.RetryAfter
+			}
+		}
+	}
+	return retryAfter, routable > 0 && full == routable
+}
+
+// runAsync drives one async job to a terminal state in the background,
+// journaling the dispatch and outcome. Shared by handleSubmit and WAL
+// replay.
+func (g *Gateway) runAsync(job *asyncJob, req serve.EvalRequest) {
 	g.asyncWG.Add(1)
 	go func() {
 		defer g.asyncWG.Done()
 		job.set("running", nil, "")
+		g.walAppend(WALRecord{T: walDispatch, ID: job.id})
 		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.JobTimeout)
 		defer cancel()
 		payload, err := g.dispatch(ctx, req)
@@ -525,13 +633,88 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			g.reg.Counter("fabric_gateway_jobs_total", "async jobs by final status",
 				telemetry.Labels{"status": "failed"}).Inc()
 			job.set("failed", nil, err.Error())
+			g.walAppend(WALRecord{T: walResult, ID: job.id, Status: "failed", Error: err.Error()})
 			return
 		}
 		g.reg.Counter("fabric_gateway_jobs_total", "async jobs by final status",
 			telemetry.Labels{"status": "done"}).Inc()
 		job.set("done", payload, "")
+		g.walAppend(WALRecord{T: walResult, ID: job.id, Status: "done", Result: payload})
 	}()
-	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, Status: "pending"})
+}
+
+// walAppend journals one record when a WAL is configured; append failures
+// degrade durability, not availability.
+func (g *Gateway) walAppend(rec WALRecord) {
+	if g.wal == nil {
+		return
+	}
+	if err := g.wal.Append(rec); err != nil {
+		g.walErrors.Inc()
+	}
+}
+
+// replayWAL rebuilds the async-job table from a journal: terminal jobs
+// answer polls again with their recorded bytes, and jobs that never
+// reached a result record are re-dispatched. Re-dispatch cannot double
+// execute on the fleet — routing keys on the patch digest, so the job
+// lands on the node whose cache already holds the evaluation.
+func (g *Gateway) replayWAL(records []WALRecord) {
+	type walEntry struct {
+		req    json.RawMessage
+		status string
+		result json.RawMessage
+		errMsg string
+	}
+	byID := map[string]*walEntry{}
+	var order []string
+	var maxSeq uint64
+	for _, rec := range records {
+		switch rec.T {
+		case walSubmit:
+			if byID[rec.ID] != nil {
+				continue
+			}
+			byID[rec.ID] = &walEntry{req: rec.Req}
+			order = append(order, rec.ID)
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+		case walResult:
+			if e := byID[rec.ID]; e != nil {
+				e.status, e.result, e.errMsg = rec.Status, rec.Result, rec.Error
+			}
+		}
+	}
+	g.asyncSeq.Store(maxSeq) // fresh ids continue past every replayed one
+	replayed := g.reg.Counter("fabric_gateway_wal_replayed_jobs_total", "unfinished jobs re-dispatched from the WAL on startup", nil)
+	for _, id := range order {
+		e := byID[id]
+		job := &asyncJob{id: id}
+		switch e.status {
+		case "done":
+			job.status, job.result = "done", e.result
+		case "failed":
+			job.status, job.errMsg = "failed", e.errMsg
+		default:
+			job.status = "pending"
+		}
+		if !g.addJob(job) {
+			g.walErrors.Inc()
+			continue
+		}
+		if e.status == "" {
+			var req serve.EvalRequest
+			if err := json.Unmarshal(e.req, &req); err != nil {
+				msg := "fabric: wal: undecodable request: " + err.Error()
+				job.set("failed", nil, msg)
+				g.walAppend(WALRecord{T: walResult, ID: id, Status: "failed", Error: msg})
+				continue
+			}
+			replayed.Inc()
+			g.runAsync(job, req)
+		}
+	}
 }
 
 // handlePoll reports an async job's state, embedding the finished result.
@@ -539,7 +722,7 @@ func (g *Gateway) handlePoll(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job := g.getJob(id)
 	if job == nil {
-		writeJSON(w, http.StatusNotFound, serve.ErrorResponse{Error: "unknown job " + id})
+		writeJSON(w, http.StatusNotFound, serve.ErrorResponse{Error: "unknown job " + id, Code: serve.CodeNotFound})
 		return
 	}
 	status, result, errMsg := job.view()

@@ -89,7 +89,7 @@ func (n *Node) health() Health {
 	n.mu.Lock()
 	draining := n.draining
 	n.mu.Unlock()
-	return Health{
+	h := Health{
 		ID:            n.cfg.ID,
 		Workers:       n.exec.Workers(),
 		QueueDepth:    n.exec.QueueDepth(),
@@ -98,6 +98,10 @@ func (n *Node) health() Health {
 		CachedResults: n.exec.CachedResults(),
 		Draining:      draining || n.exec.Draining(),
 	}
+	if h.QueueCapacity > 0 && h.QueueDepth >= h.QueueCapacity {
+		h.RetryAfter = n.exec.RetryAfterSeconds()
+	}
+	return h
 }
 
 // Listen binds addr and serves the fabric protocol until Close.
@@ -249,10 +253,22 @@ func (n *Node) writeHealth(c *nodeConn, typ uint8) error {
 
 // startJob validates and dispatches one Job frame. The executor's bounded
 // queue applies backpressure: a full queue answers immediately with a
-// queue_full error frame instead of parking the connection.
+// queue_full error frame instead of parking the connection. Payloads may
+// be a JobPayload envelope (request + remaining deadline budget) or a bare
+// serve.EvalRequest from a pre-envelope gateway.
 func (n *Node) startJob(c *nodeConn, f Frame) {
 	var req serve.EvalRequest
-	if err := json.Unmarshal(f.Payload, &req); err != nil {
+	var timeout time.Duration
+	var env JobPayload
+	if err := json.Unmarshal(f.Payload, &env); err == nil && len(env.Req) > 0 {
+		if err := json.Unmarshal(env.Req, &req); err != nil {
+			n.writeJobError(c, f.JobID, JobError{Code: CodeBadRequest, Error: "bad job payload: " + err.Error()})
+			return
+		}
+		if env.TimeoutMs > 0 {
+			timeout = time.Duration(env.TimeoutMs) * time.Millisecond
+		}
+	} else if err := json.Unmarshal(f.Payload, &req); err != nil {
 		n.writeJobError(c, f.JobID, JobError{Code: CodeBadRequest, Error: "bad job payload: " + err.Error()})
 		return
 	}
@@ -268,7 +284,7 @@ func (n *Node) startJob(c *nodeConn, f Frame) {
 	n.jobs.Add(1)
 	go func() {
 		defer n.jobs.Done()
-		n.runJob(c, f.JobID, req)
+		n.runJob(c, f.JobID, req, timeout)
 	}()
 }
 
@@ -276,9 +292,18 @@ func (n *Node) startJob(c *nodeConn, f Frame) {
 // response is encoded exactly like the HTTP server encodes it (json.Encoder,
 // trailing newline) so the gateway can forward the payload bytes verbatim
 // and stay bit-identical with single-box serve.
-func (n *Node) runJob(c *nodeConn, id uint64, req serve.EvalRequest) {
+func (n *Node) runJob(c *nodeConn, id uint64, req serve.EvalRequest, timeout time.Duration) {
 	sp := n.cfg.Trace.Span("fabric_job", obs.S("node", n.cfg.ID), obs.I64("job", int64(id)))
-	resp, err := n.exec.Evaluate(context.Background(), req)
+	ctx := context.Background()
+	if timeout > 0 {
+		// The gateway's remaining budget: the pool checks the context before
+		// dequeuing, so work the gateway already abandoned is skipped
+		// instead of burning a worker slot.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	resp, err := n.exec.Evaluate(ctx, req)
 	if err != nil {
 		n.jobErrors.Inc()
 		je := JobError{Code: CodeInternal, Error: err.Error()}
@@ -290,6 +315,8 @@ func (n *Node) runJob(c *nodeConn, id uint64, req serve.EvalRequest) {
 			je.RetryAfter = n.exec.RetryAfterSeconds()
 		case errors.Is(err, serve.ErrShuttingDown):
 			je.Code = CodeDraining
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			je.Code = CodeExpired
 		}
 		n.writeJobError(c, id, je)
 		sp.End(obs.S("code", je.Code))

@@ -201,28 +201,28 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) writeExecError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrBadRequest):
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Code: CodeBadRequest})
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.exec.RetryAfterSeconds()))
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error(), Code: CodeQueueFull})
 	case errors.Is(err, ErrShuttingDown):
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error(), Code: CodeShuttingDown})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error(), Code: CodeTimeout})
 	default:
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Code: CodeInternal})
 	}
 }
 
 // handleDetect runs one frame through a worker's detector replica.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required", Code: CodeMethodNotAllowed})
 		return
 	}
 	var req DetectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad JSON: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad JSON: " + err.Error(), Code: CodeBadRequest})
 		return
 	}
 	resp, err := s.exec.Detect(r.Context(), req)
@@ -237,12 +237,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 // LRU cache.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required", Code: CodeMethodNotAllowed})
 		return
 	}
 	var req EvalRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad JSON: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad JSON: " + err.Error(), Code: CodeBadRequest})
 		return
 	}
 	resp, err := s.exec.Evaluate(r.Context(), req)

@@ -202,7 +202,24 @@ func toWireFrames(runs [][]metrics.FrameResult) [][]wireFrame {
 	return out
 }
 
+// Machine-readable error codes carried by ErrorResponse.Code. The strings
+// are shared with the fabric wire protocol's job-error codes where the
+// concepts coincide, so a client sees one vocabulary whether it talks to a
+// single-box servd or a gateway.
+const (
+	CodeBadRequest       = "bad_request"        // the request failed validation; retrying is pointless
+	CodeQueueFull        = "queue_full"         // bounded queue at capacity; retry after Retry-After
+	CodeSaturated        = "saturated"          // every routable shard is queue-full (gateway)
+	CodeUnavailable      = "unavailable"        // no capacity to route to right now; retry soon
+	CodeTimeout          = "timeout"            // the job's deadline expired
+	CodeShuttingDown     = "shutting_down"      // the service is draining
+	CodeNotFound         = "not_found"          // unknown resource (e.g. async job id)
+	CodeMethodNotAllowed = "method_not_allowed" // wrong HTTP verb
+	CodeInternal         = "internal"           // the job ran and failed
+)
+
 // ErrorResponse is the JSON error envelope for every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

@@ -34,6 +34,13 @@ go test -count 1 -run 'Golden' ./internal/obs ./cmd/runreport
 echo "== fabric smoke (gateway + 2 nodes)"
 go test -race -count 1 -run 'TestFabricSmoke' ./internal/fabric
 
+# Chaos gate: seed-deterministic fault injection (partitions, corrupt and
+# truncated frames, slow-loris handshakes, duplicate delivery) against the
+# chaos wrappers and the gateway/node pair, race-enabled. Seeds are pinned
+# in the tests — a failure here reproduces byte-for-byte.
+echo "== chaos suite (deterministic fault injection)"
+go test -race -count 1 -run 'TestChaos' ./internal/chaos ./internal/fabric
+
 echo "== go test -race ./..."
 go test -race ./...
 
