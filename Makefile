@@ -12,10 +12,12 @@ build:
 vet:
 	go vet ./...
 
-# Repo-specific invariants (determinism, reentrancy, numeric safety).
-# See DESIGN.md "Correctness invariants" for what each check enforces.
+# Repo-specific invariants (determinism, reentrancy, numeric safety,
+# goroutine lifecycle, lock discipline, context propagation) with a
+# per-check wall-clock breakdown. See DESIGN.md "Correctness invariants"
+# for what each check enforces.
 lint:
-	go run ./cmd/rtlint ./...
+	go run ./cmd/rtlint -timing ./...
 
 test:
 	go test ./...

@@ -4,13 +4,16 @@
 //	go run ./cmd/rtlint ./...
 //
 // It loads and type-checks the module with only the standard library, runs
-// the sharedforward, globalrand, floateq, panicpolicy and gradcoverage
-// checks, subtracts the committed baseline (rtlint.baseline, if present),
+// the syntactic checks (sharedforward, globalrand, floateq, panicpolicy,
+// gradcoverage) and the CFG/dataflow checks (goroutinelife, lockheld,
+// ctxflow), subtracts the committed baseline (rtlint.baseline, if present),
 // and exits non-zero when any new finding remains. Per-line suppressions
-// use `//rtlint:ignore <check> <reason>`.
+// use `//rtlint:ignore <check> <reason>`. -json emits a machine-readable
+// report on stdout; -timing prints a per-check wall-clock breakdown.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +23,39 @@ import (
 	"roadtrojan/internal/analysis"
 )
 
+// jsonReport is the -json schema: stable field names so CI artifacts can
+// be diffed across runs.
+type jsonReport struct {
+	Module    string        `json:"module"`
+	Checks    []string      `json:"checks"`
+	Findings  []jsonFinding `json:"findings"`
+	Baselined int           `json:"baselined"`
+	Stale     []string      `json:"stale_baseline,omitempty"`
+	TimingMS  []jsonTiming  `json:"timing_ms,omitempty"`
+}
+
+type jsonFinding struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+type jsonTiming struct {
+	Check    string  `json:"check"`
+	MS       float64 `json:"ms"`
+	Findings int     `json:"findings"`
+}
+
 func main() {
 	var (
 		baselinePath  = flag.String("baseline", "rtlint.baseline", "baseline file of grandfathered findings (relative to the module root; missing file = empty)")
 		writeBaseline = flag.Bool("write-baseline", false, "rewrite the baseline file from the current findings and exit 0")
 		checkList     = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 		list          = flag.Bool("list", false, "list the registered checks and exit")
+		jsonOut       = flag.Bool("json", false, "emit a machine-readable report on stdout instead of plain findings")
+		timing        = flag.Bool("timing", false, "print a per-check wall-clock breakdown on stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtlint [flags] [./...]\n\nFlags:\n")
@@ -70,7 +100,12 @@ func main() {
 	pkgs = filterPatterns(pkgs, loader.Module(), flag.Args())
 
 	cfg := analysis.DefaultConfig(loader.Module())
-	findings := analysis.Run(cfg, pkgs, checks)
+	findings, timings := analysis.RunTimed(cfg, pkgs, checks)
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "rtlint: %-14s %8.1fms  %d finding(s)\n", tm.Name, float64(tm.Elapsed.Microseconds())/1000, tm.Findings)
+		}
+	}
 
 	blPath := *baselinePath
 	if !filepath.IsAbs(blPath) {
@@ -88,17 +123,62 @@ func main() {
 		fatalf("loading baseline: %v", err)
 	}
 	fresh := baseline.Filter(findings, root)
-	for _, f := range fresh {
-		rel, err := filepath.Rel(root, f.Pos.Filename)
-		if err != nil {
-			rel = f.Pos.Filename
+	stale := baseline.Stale(findings, root)
+	for _, key := range stale {
+		fmt.Fprintf(os.Stderr, "rtlint: stale baseline entry (violation fixed — prune it): %s\n", key)
+	}
+
+	if *jsonOut {
+		report := jsonReport{
+			Module:    loader.Module(),
+			Checks:    []string{},
+			Findings:  []jsonFinding{},
+			Baselined: len(findings) - len(fresh),
+			Stale:     stale,
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+		for _, c := range checks {
+			report.Checks = append(report.Checks, c.Name)
+		}
+		for _, f := range fresh {
+			report.Findings = append(report.Findings, jsonFinding{
+				File:  relPath(root, f.Pos.Filename),
+				Line:  f.Pos.Line,
+				Col:   f.Pos.Column,
+				Check: f.Check,
+				Msg:   f.Msg,
+			})
+		}
+		for _, tm := range timings {
+			report.TimingMS = append(report.TimingMS, jsonTiming{
+				Check:    tm.Name,
+				MS:       float64(tm.Elapsed.Microseconds()) / 1000,
+				Findings: tm.Findings,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatalf("encoding report: %v", err)
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+		}
 	}
 	if n := len(fresh); n > 0 {
 		fmt.Fprintf(os.Stderr, "rtlint: %d finding(s) not covered by the baseline\n", n)
 		os.Exit(1)
 	}
+}
+
+// relPath renders file relative to the module root with forward slashes,
+// matching the baseline key format.
+func relPath(root, file string) string {
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		rel = file
+	}
+	return filepath.ToSlash(rel)
 }
 
 // filterPatterns keeps packages matching the command-line patterns. The

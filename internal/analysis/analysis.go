@@ -20,6 +20,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one rule violation at a source position.
@@ -72,6 +73,15 @@ type Config struct {
 	// GradCheckNameRE matches the test/helper function names that count as
 	// gradient checks for gradcoverage.
 	GradCheckNameRE *regexp.Regexp
+	// FlowScope limits the CFG-based checks (goroutinelife, lockheld,
+	// ctxflow) to the packages it returns true for — library code under
+	// internal/ by default; cmd front ends run until process exit.
+	FlowScope func(p *Pkg) bool
+	// IOLockRE matches the names of dedicated I/O mutexes (writeMu and
+	// friends). Network reads/writes under such a lock — and only such a
+	// lock — are exempt from lockheld: serializing writes on a shared conn
+	// is the mutex's entire job.
+	IOLockRE *regexp.Regexp
 }
 
 // DefaultConfig returns the policy enforced on this repository, for the
@@ -90,6 +100,10 @@ func DefaultConfig(module string) *Config {
 			return strings.HasPrefix(p.Path, module+"/internal/")
 		},
 		GradCheckNameRE: regexp.MustCompile(`(?i)grad(ient)?_?check`),
+		FlowScope: func(p *Pkg) bool {
+			return strings.HasPrefix(p.Path, module+"/internal/")
+		},
+		IOLockRE: regexp.MustCompile(`(?i)^(write|send|read|recv|out|in|io|conn)(mu|mutex|lock)$`),
 	}
 }
 
@@ -108,18 +122,44 @@ func AllChecks() []Check {
 		floatEqCheck(),
 		panicPolicyCheck(),
 		gradCoverageCheck(),
+		goroutineLifeCheck(),
+		lockHeldCheck(),
+		ctxFlowCheck(),
 	}
+}
+
+// CheckTiming is the wall-clock cost of one check summed over every
+// package it ran on, as reported by RunTimed.
+type CheckTiming struct {
+	Name     string
+	Elapsed  time.Duration
+	Findings int // pre-suppression finding count
 }
 
 // Run executes the checks over the packages, applies //rtlint:ignore
 // suppressions, and returns the surviving findings sorted by position.
 func Run(cfg *Config, pkgs []*Pkg, checks []Check) []Finding {
+	findings, _ := RunTimed(cfg, pkgs, checks)
+	return findings
+}
+
+// RunTimed is Run plus a per-check timing breakdown (in the order the
+// checks were given), for `rtlint -timing` and the make lint report.
+func RunTimed(cfg *Config, pkgs []*Pkg, checks []Check) ([]Finding, []CheckTiming) {
+	timings := make([]CheckTiming, len(checks))
+	for i, c := range checks {
+		timings[i].Name = c.Name
+	}
 	var out []Finding
 	for _, p := range pkgs {
 		sup, bad := suppressions(p)
 		out = append(out, bad...)
-		for _, c := range checks {
-			for _, f := range c.Run(cfg, p) {
+		for i, c := range checks {
+			start := time.Now()
+			fs := c.Run(cfg, p)
+			timings[i].Elapsed += time.Since(start)
+			timings[i].Findings += len(fs)
+			for _, f := range fs {
 				if !sup.covers(f) {
 					out = append(out, f)
 				}
@@ -139,7 +179,7 @@ func Run(cfg *Config, pkgs []*Pkg, checks []Check) []Finding {
 		}
 		return a.Check < b.Check
 	})
-	return out
+	return out, timings
 }
 
 // suppression directives: a comment of the form
@@ -230,9 +270,44 @@ func LoadBaseline(path string) (Baseline, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		b[line]++
+		b[normalizeBaselineKey(line)]++
 	}
 	return b, nil
+}
+
+// normalizeBaselineKey canonicalizes the path component of a baseline line
+// so baselines written on Windows (backslash separators) match keys built
+// with forward slashes.
+func normalizeBaselineKey(line string) string {
+	i := strings.Index(line, ": ")
+	if i < 0 {
+		return line
+	}
+	return strings.ReplaceAll(line[:i], `\`, "/") + line[i:]
+}
+
+// Stale returns the baseline entries (with multiplicities) that no current
+// finding matches — fixed violations whose grandfather lines should be
+// deleted. Keys are returned sorted.
+func (b Baseline) Stale(findings []Finding, root string) []string {
+	remaining := Baseline{}
+	for k, n := range b {
+		remaining[k] = n
+	}
+	for _, f := range findings {
+		k := BaselineKey(f, root)
+		if remaining[k] > 0 {
+			remaining[k]--
+		}
+	}
+	var out []string
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Filter removes findings present in the baseline (consuming multiset

@@ -5,7 +5,9 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -37,6 +39,7 @@ func repoRoot(t *testing.T) string {
 func corpusConfig(module string) *Config {
 	cfg := DefaultConfig(module)
 	cfg.PanicScope = func(*Pkg) bool { return true } // corpus dirs are outside internal/
+	cfg.FlowScope = func(*Pkg) bool { return true }
 	cfg.FloatEqApproved["almostEqual"] = true
 	return cfg
 }
@@ -68,6 +71,9 @@ func TestCorpus(t *testing.T) {
 		{"floateq", []string{"floateq/src"}},
 		{"panicpolicy", []string{"panicpolicy/src"}},
 		{"gradcoverage", []string{"gradcoverage/src"}},
+		{"goroutinelife", []string{"goroutinelife/src"}},
+		{"lockheld", []string{"lockheld/src"}},
+		{"ctxflow", []string{"ctxflow/src"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check, func(t *testing.T) {
@@ -139,6 +145,33 @@ func matchWants(t *testing.T, dir string, findings []Finding) {
 	}
 }
 
+// TestSeededScratch is the engine canary: the scratch corpus deliberately
+// seeds one goroutine leak, one blocking-under-lock, and one ctx re-root.
+// If any of the three checks goes silent on it, the analyzer — not the
+// repo — regressed.
+func TestSeededScratch(t *testing.T) {
+	root := repoRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "scratch", "src")
+	p, err := loader.LoadDir(dir, "corpus/scratch_src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(corpusConfig(loader.Module()), []*Pkg{p}, AllChecks())
+	caught := map[string]bool{}
+	for _, f := range findings {
+		caught[f.Check] = true
+	}
+	for _, want := range []string{"goroutinelife", "lockheld", "ctxflow"} {
+		if !caught[want] {
+			t.Errorf("seeded %s bug in scratch corpus was not caught; findings: %v", want, findings)
+		}
+	}
+}
+
 func TestBaselineRoundTrip(t *testing.T) {
 	root := t.TempDir()
 	findings := []Finding{
@@ -171,6 +204,58 @@ func TestBaselineRoundTrip(t *testing.T) {
 	empty, err := LoadBaseline(filepath.Join(root, "nonexistent"))
 	if err != nil || len(empty) != 0 {
 		t.Fatalf("missing baseline: %v %v", empty, err)
+	}
+}
+
+// TestBaselineSeparatorNormalization: a baseline written with Windows path
+// separators must still match keys built with forward slashes.
+func TestBaselineSeparatorNormalization(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "rtlint.baseline")
+	content := "# comment\n" +
+		`internal\serve\pool.go: floateq: m1` + "\n" +
+		"internal/fabric/node.go: lockheld: m2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := []Finding{
+		{Pos: pos(filepath.Join(root, "internal", "serve", "pool.go"), 3), Check: "floateq", Msg: "m1"},
+		{Pos: pos(filepath.Join(root, "internal", "fabric", "node.go"), 8), Check: "lockheld", Msg: "m2"},
+	}
+	if left := bl.Filter(findings, root); len(left) != 0 {
+		t.Fatalf("normalized baseline should cover both findings, kept %v", left)
+	}
+	// The message part must not be rewritten: a backslash after "check: "
+	// stays intact.
+	if _, ok := bl[`internal/serve/pool.go: floateq: m1`]; !ok {
+		t.Fatalf("backslash path was not normalized: %v", bl)
+	}
+}
+
+// TestBaselineStale: entries no finding matches are reported (with
+// multiplicity) so fixed violations get pruned from the committed file.
+func TestBaselineStale(t *testing.T) {
+	root := t.TempDir()
+	f1 := Finding{Pos: pos(filepath.Join(root, "a.go"), 3), Check: "floateq", Msg: "m1"}
+	bl := Baseline{
+		BaselineKey(f1, root):               2, // two grandfathered, only one still present
+		"gone.go: lockheld: fixed long ago": 1,
+	}
+	stale := bl.Stale([]Finding{f1}, root)
+	want := []string{
+		BaselineKey(f1, root), // the surplus duplicate
+		"gone.go: lockheld: fixed long ago",
+	}
+	sort.Strings(want)
+	if !reflect.DeepEqual(stale, want) {
+		t.Fatalf("stale = %v, want %v", stale, want)
+	}
+	if got := bl.Stale([]Finding{f1, f1}, root); len(got) != 1 || got[0] != "gone.go: lockheld: fixed long ago" {
+		t.Fatalf("fully-used baseline should only report the dead entry, got %v", got)
 	}
 }
 

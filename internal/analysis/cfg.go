@@ -1,0 +1,437 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// This file builds intraprocedural control-flow graphs over function
+// bodies. The graph is deliberately simple — basic blocks of ast.Nodes
+// with successor edges — but models the constructs the flow checks care
+// about: branches, loops (with labeled break/continue), switch/select
+// fan-out, goto, defer, and terminating calls (panic/os.Exit). Statements
+// with nested bodies are never stored whole: a loop contributes its header
+// expression, a select contributes itself as a marker node (its comm
+// clauses become branch blocks), so walking Block.Nodes never re-visits a
+// nested body that lives in another block.
+
+// Block is one straight-line run of statements/expressions.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry starts the
+// body; Exit is the single synthetic return target (returns, panics, and
+// falling off the end all edge into it).
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists deferred calls in lexical order. They run at every
+	// function exit; flow passes that care (lockheld's defer-unlock
+	// accounting) consult this list instead of modeling the run-at-exit
+	// semantics edge by edge.
+	Defers []*ast.CallExpr
+	// SelectComms marks the comm statements of select clauses. A receive
+	// or send that appears here blocks only as part of its select (whose
+	// own SelectStmt marker node carries the blocking classification), so
+	// effect walkers must not classify it a second time.
+	SelectComms map[ast.Node]bool
+}
+
+// Loop is one natural loop: the back-edge head plus every block on a path
+// back to it.
+type Loop struct {
+	Head   *Block
+	Blocks map[*Block]bool
+}
+
+// IsTerminatingCall reports whether a call never returns, ending the
+// current path (panic, os.Exit, runtime.Goexit, log.Fatal*). The builder
+// takes it as a parameter so checks with richer type facts can extend it.
+type IsTerminatingCall func(*ast.CallExpr) bool
+
+type cfgBuilder struct {
+	cfg        *CFG
+	cur        *Block
+	terminates IsTerminatingCall
+	// frames is the enclosing breakable/continuable construct stack.
+	frames []cfgFrame
+	labels map[string]*Block   // label -> first block of the labeled stmt
+	gotos  map[string][]*Block // unresolved goto sources by label
+}
+
+type cfgFrame struct {
+	label     string
+	breakTo   *Block
+	contTo    *Block // nil for switch/select frames
+	canBreak  bool
+	canCont   bool
+	isLoopish bool // for/range: unlabeled continue targets the innermost of these
+}
+
+// BuildCFG constructs the CFG of body. terminates may be nil (only the
+// panic builtin by name then ends a path).
+func BuildCFG(body *ast.BlockStmt, terminates IsTerminatingCall) *CFG {
+	if terminates == nil {
+		terminates = func(c *ast.CallExpr) bool {
+			id, ok := c.Fun.(*ast.Ident)
+			return ok && id.Name == "panic"
+		}
+	}
+	b := &cfgBuilder{
+		cfg:        &CFG{SelectComms: map[ast.Node]bool{}},
+		terminates: terminates,
+		labels:     map[string]*Block{},
+		gotos:      map[string][]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.cfg.Exit) // fall off the end
+	// Unresolved gotos (label declared in a scope we never reached, or a
+	// malformed program) conservatively end their path.
+	for _, srcs := range b.gotos {
+		for _, src := range srcs {
+			b.edge(src, b.cfg.Exit)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// seal ends the current path: subsequent statements go to a fresh,
+// unreachable block (dead code after return/break/...).
+func (b *cfgBuilder) seal() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt appends one statement to the graph. label is the pending label when
+// the statement was wrapped in a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch st := s.(type) {
+	case *ast.LabeledStmt:
+		// Register the label target as a fresh block so gotos can land on it.
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[st.Label.Name] = target
+		for _, src := range b.gotos[st.Label.Name] {
+			b.edge(src, target)
+		}
+		delete(b.gotos, st.Label.Name)
+		b.stmt(st.Stmt, st.Label.Name)
+
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		b.cur.Nodes = append(b.cur.Nodes, st.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cond, thenB)
+		b.cur = thenB
+		b.stmtList(st.Body.List)
+		b.edge(b.cur, join)
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(st.Else, "")
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, "")
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if st.Post != nil {
+			post = b.newBlock()
+		}
+		if st.Cond != nil {
+			head.Nodes = append(head.Nodes, st.Cond)
+			b.edge(head, after) // condition false
+		}
+		b.edge(head, body)
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: after, contTo: post, canBreak: true, canCont: true, isLoopish: true})
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		if st.Post != nil {
+			b.edge(b.cur, post)
+			post.Nodes = append(post.Nodes, st.Post)
+			b.edge(post, head)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		// The RangeStmt itself is the header marker: classification reads
+		// st.X's type (channel vs. collection) and the key/value defs.
+		head.Nodes = append(head.Nodes, st)
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after) // exhausted / channel closed
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: after, contTo: head, canBreak: true, canCont: true, isLoopish: true})
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var bodyList []ast.Stmt
+		switch sw := st.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				b.stmt(sw.Init, "")
+			}
+			if sw.Tag != nil {
+				b.cur.Nodes = append(b.cur.Nodes, sw.Tag)
+			}
+			bodyList = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				b.stmt(sw.Init, "")
+			}
+			b.cur.Nodes = append(b.cur.Nodes, sw.Assign)
+			bodyList = sw.Body.List
+		}
+		head := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: join, canBreak: true})
+		var prevBody *Block // for fallthrough
+		hasDefault := false
+		for _, cs := range bodyList {
+			cc, ok := cs.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseB := b.newBlock()
+			b.edge(head, caseB)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				caseB.Nodes = append(caseB.Nodes, e)
+			}
+			if prevBody != nil {
+				b.edge(prevBody, caseB) // fallthrough from the previous case
+			}
+			prevBody = nil
+			b.cur = caseB
+			ft := false
+			for i, inner := range cc.Body {
+				if br, ok := inner.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && i == len(cc.Body)-1 {
+					ft = true
+					continue
+				}
+				b.stmt(inner, "")
+			}
+			if ft {
+				prevBody = b.cur
+			} else {
+				b.edge(b.cur, join)
+			}
+		}
+		if prevBody != nil {
+			b.edge(prevBody, join) // trailing fallthrough in the last case
+		}
+		if !hasDefault {
+			b.edge(head, join) // no case matched
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.SelectStmt:
+		// The SelectStmt node is the blocking marker; comm statements are
+		// recorded in SelectComms so walkers don't double-classify them.
+		b.cur.Nodes = append(b.cur.Nodes, st)
+		head := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: join, canBreak: true})
+		for _, cs := range st.Body.List {
+			cc, ok := cs.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseB := b.newBlock()
+			b.edge(head, caseB)
+			b.cur = caseB
+			if cc.Comm != nil {
+				b.cfg.SelectComms[cc.Comm] = true
+				b.stmt(cc.Comm, "")
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.BranchStmt:
+		switch st.Tok.String() {
+		case "break":
+			if t := b.frameTarget(st.Label, true); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.seal()
+		case "continue":
+			if t := b.frameTarget(st.Label, false); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.seal()
+		case "goto":
+			if st.Label != nil {
+				if t, ok := b.labels[st.Label.Name]; ok {
+					b.edge(b.cur, t)
+				} else {
+					b.gotos[st.Label.Name] = append(b.gotos[st.Label.Name], b.cur)
+				}
+			}
+			b.seal()
+		}
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, st)
+		b.edge(b.cur, b.cfg.Exit)
+		b.seal()
+
+	case *ast.DeferStmt:
+		b.cur.Nodes = append(b.cur.Nodes, st)
+		b.cfg.Defers = append(b.cfg.Defers, st.Call)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, st.X)
+		if call, ok := st.X.(*ast.CallExpr); ok && b.terminates(call) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.seal()
+		}
+
+	case nil:
+		// e.g. an absent init clause
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements, empty
+		// statements: straight-line nodes.
+		b.cur.Nodes = append(b.cur.Nodes, st)
+	}
+}
+
+// frameTarget resolves break/continue to its target block.
+func (b *cfgBuilder) frameTarget(label *ast.Ident, isBreak bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if isBreak && f.canBreak {
+			return f.breakTo
+		}
+		if !isBreak && f.canCont && (label != nil || f.isLoopish) {
+			return f.contTo
+		}
+	}
+	return nil
+}
+
+// Loops returns one natural loop per back edge, found by depth-first
+// search from the entry (an edge u->h is a back edge when h is still on
+// the DFS stack at u).
+func (c *CFG) Loops() []Loop {
+	state := map[*Block]int{} // 0 unvisited, 1 on stack, 2 finished
+	var loops []Loop
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		state[b] = 1
+		for _, s := range b.Succs {
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				loops = append(loops, c.naturalLoop(b, s))
+			}
+		}
+		state[b] = 2
+	}
+	dfs(c.Entry)
+	return loops
+}
+
+// naturalLoop collects the loop of back edge u->h: h plus all blocks that
+// reach u against the flow without crossing h.
+func (c *CFG) naturalLoop(u, h *Block) Loop {
+	body := map[*Block]bool{h: true, u: true}
+	stack := []*Block{u}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == h {
+			continue
+		}
+		for _, p := range n.Preds {
+			if !body[p] {
+				body[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return Loop{Head: h, Blocks: body}
+}
+
+// Exits reports the loop blocks that have a successor outside the loop —
+// i.e. the loop is escapable without a shutdown signal when non-empty.
+func (l Loop) Exits() []*Block {
+	var out []*Block
+	for b := range l.Blocks {
+		for _, s := range b.Succs {
+			if !l.Blocks[s] {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}

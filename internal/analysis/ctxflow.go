@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxflow: a function that accepts a context must thread it. Four rules,
+// applied to every flow-scoped function with a named context.Context
+// parameter (unnamed/_ parameters opt out — they document "ctx unused by
+// design", e.g. interface compliance):
+//
+//  1. No re-rooting: context.Background()/context.TODO() anywhere in the
+//     body is a finding. `go`/`defer` subtrees are exempt — work that
+//     outlives the request legitimately detaches from its deadline.
+//  2. No time.Sleep: a sleep cannot observe cancellation; use a timer in a
+//     select with ctx.Done.
+//  3. A select with a time.After case must also have a ctx.Done case
+//     (receive operands are traced through reaching definitions, so a
+//     timer stored in a variable first is still recognized).
+//  4. The parameter must actually flow somewhere: if the body performs
+//     blocking operations but never mentions ctx, the deadline is dropped
+//     on the floor.
+func ctxFlowCheck() Check {
+	return Check{
+		Name: "ctxflow",
+		Doc:  "ctx-accepting functions must thread the context to blocking work, not re-root or ignore it",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(cfg *Config, p *Pkg) []Finding {
+	if cfg.FlowScope != nil && !cfg.FlowScope(p) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || p.IsTestFile(fd.Pos()) {
+				continue
+			}
+			params := ctxParams(p, fd)
+			if len(params) == 0 {
+				continue
+			}
+			out = append(out, ctxFlowFunc(p, fd, params)...)
+		}
+	}
+	return out
+}
+
+// ctxParams returns the named context.Context parameters of the function.
+func ctxParams(p *Pkg, fd *ast.FuncDecl) map[*types.Var]bool {
+	params := map[*types.Var]bool{}
+	if fd.Type.Params == nil {
+		return params
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if v, ok := p.Info.Defs[name].(*types.Var); ok && isContextType(v.Type()) {
+				params[v] = true
+			}
+		}
+	}
+	return params
+}
+
+func ctxFlowFunc(p *Pkg, fd *ast.FuncDecl, params map[*types.Var]bool) []Finding {
+	c := BuildCFG(fd.Body, p.isTerminating)
+	var all []*types.Var
+	for v := range params {
+		all = append(all, v)
+	}
+	defs := SolveReachingDefs(p, c, all)
+	var out []Finding
+	// Any mention of the parameter counts as threading — including handing
+	// it to a goroutine or defer, which rules 1-3 otherwise skip.
+	usesCtx := false
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := p.Info.Uses[id].(*types.Var); ok && params[v] {
+				usesCtx = true
+			}
+		}
+		return !usesCtx
+	})
+	blocks := false
+	for _, b := range c.Blocks {
+		if _, reachable := defs[b]; !reachable && b != c.Entry {
+			continue
+		}
+		// Block-local running definitions: the IN fact plus strong updates
+		// from nodes already walked, so a timer/ctx assigned earlier in this
+		// very block resolves too.
+		local := map[*types.Var][]Def{}
+		for v, ds := range defs[b] {
+			local[v] = ds
+		}
+		lookup := func(v *types.Var) []Def { return local[v] }
+		for _, n := range b.Nodes {
+			// Detached subtrees: go/defer bodies may re-root.
+			switch n.(type) {
+			case *ast.GoStmt, *ast.DeferStmt:
+				for _, d := range nodeDefs(p, n) {
+					local[d.Var] = []Def{d}
+				}
+				continue
+			}
+			for _, site := range classifyNode(p, c, n) {
+				if site.Effect.Blocking() {
+					blocks = true
+				}
+			}
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch e := m.(type) {
+				case *ast.GoStmt, *ast.DeferStmt:
+					return false
+				case *ast.CallExpr:
+					if name, ok := contextPkgCall(p, e); ok && (name == "Background" || name == "TODO") {
+						out = append(out, finding(p, e.Pos(), "ctxflow",
+							"context re-rooted via context.%s despite ctx parameter; derive from it instead", name))
+					}
+					if isTimePkgCall(p, e, "Sleep") {
+						out = append(out, finding(p, e.Pos(), "ctxflow",
+							"time.Sleep cannot observe ctx cancellation; select on a timer and ctx.Done"))
+					}
+				case *ast.SelectStmt:
+					if timer, pos := selectTimerCase(p, lookup, e); timer && !selectDoneCase(p, lookup, e, params) {
+						out = append(out, finding(p, pos, "ctxflow",
+							"select waits on time.After but never on ctx.Done"))
+					}
+					// Clause bodies are separate CFG blocks; comm exprs were
+					// just inspected — don't descend twice.
+					return false
+				}
+				return true
+			})
+			for _, d := range nodeDefs(p, n) {
+				local[d.Var] = []Def{d}
+			}
+		}
+	}
+	if blocks && !usesCtx {
+		out = append(out, finding(p, fd.Name.Pos(), "ctxflow",
+			"%s accepts ctx but never threads it while performing blocking operations", fd.Name.Name))
+	}
+	return out
+}
+
+// contextPkgCall reports a call to the context package, returning the
+// function name.
+func contextPkgCall(p *Pkg, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func isTimePkgCall(p *Pkg, call *ast.CallExpr, name string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}
+
+// defLookup resolves a variable to the definitions reaching the current
+// program point (block IN plus in-block strong updates).
+type defLookup func(v *types.Var) []Def
+
+// selectTimerCase reports whether any comm clause receives from time.After
+// (directly or through a variable, traced via reaching definitions) and the
+// position of the first such clause.
+func selectTimerCase(p *Pkg, defs defLookup, st *ast.SelectStmt) (bool, token.Pos) {
+	for _, cs := range st.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		for _, op := range commRecvOperands(cc) {
+			if isTimerExpr(p, defs, op, map[*types.Var]bool{}) {
+				return true, cc.Pos()
+			}
+		}
+	}
+	return false, token.NoPos
+}
+
+// selectDoneCase reports whether any comm clause receives from ctx.Done()
+// where ctx is (or derives from) a context parameter.
+func selectDoneCase(p *Pkg, defs defLookup, st *ast.SelectStmt, params map[*types.Var]bool) bool {
+	for _, cs := range st.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		for _, op := range commRecvOperands(cc) {
+			call, ok := unparen(op).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Done" || !isContextType(p.typeOf(sel.X)) {
+				continue
+			}
+			if ctxDerived(p, defs, sel.X, params, map[*types.Var]bool{}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commRecvOperands returns the channel operands received from in one comm
+// clause ("<-ch", "v := <-ch", "v, ok = <-ch").
+func commRecvOperands(cc *ast.CommClause) []ast.Expr {
+	var out []ast.Expr
+	collect := func(e ast.Expr) {
+		if u, ok := unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			out = append(out, u.X)
+		}
+	}
+	switch comm := cc.Comm.(type) {
+	case *ast.ExprStmt:
+		collect(comm.X)
+	case *ast.AssignStmt:
+		for _, r := range comm.Rhs {
+			collect(r)
+		}
+	}
+	return out
+}
+
+// isTimerExpr reports whether e is a time.After(...) result, directly or
+// through reaching definitions of a local variable.
+func isTimerExpr(p *Pkg, defs defLookup, e ast.Expr, seen map[*types.Var]bool) bool {
+	switch x := unparen(e).(type) {
+	case *ast.CallExpr:
+		return isTimePkgCall(p, x, "After")
+	case *ast.Ident:
+		v, ok := p.Info.Uses[x].(*types.Var)
+		if !ok || seen[v] {
+			return false
+		}
+		seen[v] = true
+		for _, d := range defs(v) {
+			if d.Rhs != nil && isTimerExpr(p, defs, d.Rhs, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ctxDerived reports whether e denotes a context rooted in one of the
+// function's ctx parameters. Unknown producers (helper calls, stored
+// fields) are trusted; only explicit Background/TODO roots are rejected.
+func ctxDerived(p *Pkg, defs defLookup, e ast.Expr, params map[*types.Var]bool, seen map[*types.Var]bool) bool {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := p.Info.Uses[x].(*types.Var)
+		if !ok {
+			return true
+		}
+		if params[v] {
+			return true
+		}
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+		ds := defs(v)
+		if len(ds) == 0 {
+			// Free variable (closure capture) or untracked: trust it.
+			return true
+		}
+		for _, d := range ds {
+			if d.Rhs == nil {
+				if params[d.Var] {
+					return true
+				}
+				continue
+			}
+			if ctxDerived(p, defs, d.Rhs, params, seen) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if name, ok := contextPkgCall(p, x); ok {
+			if name == "Background" || name == "TODO" {
+				return false
+			}
+			if len(x.Args) > 0 {
+				return ctxDerived(p, defs, x.Args[0], params, seen)
+			}
+			return true
+		}
+		// Helper producing a context (req.Context(), clock wrappers): trust.
+		return true
+	default:
+		// Field selectors and anything else structured: trust.
+		return true
+	}
+}

@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file classifies the effects of CFG nodes for the flow checks: which
+// operations block (and on what), which can observe shutdown, and which
+// structural types count as closable network I/O handles. Classification
+// is structural (method sets, package paths) so chaos/test wrappers around
+// net.Conn are treated like the real thing.
+
+// Effect is one blocking/observability class of a CFG node.
+type Effect int
+
+const (
+	EffectNone     Effect = iota
+	EffectChanRecv        // <-ch outside a select comm, or range over a channel
+	EffectChanSend        // ch <- v outside a select comm
+	EffectSelect          // select with no default clause
+	EffectNetRead         // Read/Accept/Serve/ReadAll... on a closable conn/listener
+	EffectNetWrite        // Write/WriteTo... on a closable conn
+	EffectDial            // Dial-style connection setup
+	EffectSleep           // time.Sleep
+	EffectWait            // sync.WaitGroup.Wait / sync.Cond.Wait
+)
+
+// String names the effect for finding messages.
+func (e Effect) String() string {
+	switch e {
+	case EffectChanRecv:
+		return "channel receive"
+	case EffectChanSend:
+		return "channel send"
+	case EffectSelect:
+		return "blocking select"
+	case EffectNetRead:
+		return "network read"
+	case EffectNetWrite:
+		return "network write"
+	case EffectDial:
+		return "dial"
+	case EffectSleep:
+		return "sleep"
+	case EffectWait:
+		return "Wait"
+	}
+	return "none"
+}
+
+// Blocking reports whether the effect parks the goroutine.
+func (e Effect) Blocking() bool { return e != EffectNone }
+
+// effectSite is one classified operation inside a CFG node.
+type effectSite struct {
+	Effect Effect
+	Node   ast.Node // the operation (for position reporting)
+}
+
+// classifyNode returns the blocking operations a CFG node performs. comm
+// marks select comm statements (already accounted for by their SelectStmt
+// marker) which are skipped. The walk stays inside the node — CFG nodes
+// never embed another block's body, except FuncLit values (goroutine and
+// callback bodies), which are skipped: their effects belong to the
+// function that eventually runs them.
+func classifyNode(p *Pkg, c *CFG, n ast.Node) []effectSite {
+	var out []effectSite
+	if c.SelectComms[n] {
+		return nil
+	}
+	switch st := n.(type) {
+	case *ast.SelectStmt:
+		if !selectHasDefault(st) {
+			out = append(out, effectSite{EffectSelect, st})
+		}
+		return out
+	case *ast.RangeStmt:
+		if isChanType(p.typeOf(st.X)) {
+			out = append(out, effectSite{EffectChanRecv, st})
+		}
+		return out
+	case *ast.SendStmt:
+		out = append(out, effectSite{EffectChanSend, st})
+		// fall through to scan the value expression below
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt, *ast.RangeStmt:
+			// Nested bodies live in their own blocks; nothing to do here.
+			return false
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				out = append(out, effectSite{EffectChanRecv, e})
+			}
+		case *ast.SendStmt:
+			if m != n {
+				out = append(out, effectSite{EffectChanSend, e})
+			}
+		case *ast.CallExpr:
+			if eff := classifyCall(p, e); eff != EffectNone {
+				out = append(out, effectSite{eff, e})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// classifyCall classifies one call expression's blocking effect.
+func classifyCall(p *Pkg, call *ast.CallExpr) Effect {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		// Package-level functions: time.Sleep, net.Dial*.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "time":
+					if name == "Sleep" {
+						return EffectSleep
+					}
+				case "net":
+					if strings.HasPrefix(name, "Dial") || name == "Listen" || name == "ListenPacket" {
+						return EffectDial
+					}
+				case "io":
+					if name == "ReadAll" || name == "Copy" || name == "CopyN" || name == "ReadFull" {
+						if callHasNetArg(p, call) {
+							return EffectNetRead
+						}
+					}
+				}
+			}
+		}
+		// Methods: classify by receiver type.
+		recv := p.typeOf(fun.X)
+		if recv == nil {
+			break
+		}
+		switch {
+		case isSyncWaitable(recv) && name == "Wait":
+			return EffectWait
+		case isConnLike(recv):
+			switch {
+			case strings.HasPrefix(name, "Read"):
+				return EffectNetRead
+			case strings.HasPrefix(name, "Write"):
+				return EffectNetWrite
+			}
+		case isListenerLike(recv) && name == "Accept":
+			return EffectNetRead
+		case isHTTPClient(recv) && (name == "Do" || name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+			return EffectNetRead
+		}
+		// Serve(listener) / Dial-named funcs and function-typed fields.
+		if strings.HasPrefix(name, "Dial") {
+			return EffectDial
+		}
+		if name == "Serve" && callHasNetArg(p, call) {
+			return EffectNetRead
+		}
+		if (strings.HasPrefix(name, "Read") || strings.HasPrefix(name, "Write")) && callHasNetArg(p, call) {
+			if strings.HasPrefix(name, "Read") {
+				return EffectNetRead
+			}
+			return EffectNetWrite
+		}
+	case *ast.Ident:
+		name := fun.Name
+		// Plain function calls taking a conn/listener: ReadFrame(conn),
+		// WriteFrame(conn, f), Serve(ln) — the framed-protocol idiom.
+		if strings.HasPrefix(name, "Dial") {
+			return EffectDial
+		}
+		if callHasNetArg(p, call) {
+			switch {
+			case strings.HasPrefix(name, "Read") || name == "Serve" || name == "Accept":
+				return EffectNetRead
+			case strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Send"):
+				return EffectNetWrite
+			}
+		}
+	}
+	return EffectNone
+}
+
+// callHasNetArg reports whether any argument is conn-like or listener-like.
+func callHasNetArg(p *Pkg, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		t := p.typeOf(a)
+		if t != nil && (isConnLike(t) || isListenerLike(t)) {
+			return true
+		}
+	}
+	return false
+}
+
+// shutdownObserver reports whether the effect can observe shutdown and
+// unblock: channel receives end when the channel closes, selects with a
+// receive case wake on close, network reads/accepts fail when the conn or
+// listener closes. Sends, sleeps and dials observe nothing.
+func (e Effect) shutdownObserver() bool {
+	switch e {
+	case EffectChanRecv, EffectSelect, EffectNetRead, EffectWait:
+		return true
+	}
+	return false
+}
+
+func selectHasDefault(st *ast.SelectStmt) bool {
+	for _, cs := range st.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func selectHasRecv(p *Pkg, st *ast.SelectStmt) bool {
+	for _, cs := range st.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, r := range comm.Rhs {
+				if u, ok := r.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// typeOf looks up the static type of an expression (nil when unknown).
+func (p *Pkg) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isConnLike reports whether t looks like a closable network connection:
+// its method set carries Read, Write, Close and SetReadDeadline (net.Conn
+// and every wrapper around it — including the chaos fault injector).
+// *os.File matches that method set but is bounded disk I/O, not a peer
+// that can park us indefinitely, so it is excluded.
+func isConnLike(t types.Type) bool {
+	if named, ok := deref(t).(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+			return false
+		}
+	}
+	return hasMethods(t, "Read", "Write", "Close", "SetReadDeadline")
+}
+
+// isListenerLike reports whether t looks like a closable accept loop
+// source: Accept + Close + Addr (net.Listener and wrappers).
+func isListenerLike(t types.Type) bool {
+	return hasMethods(t, "Accept", "Close", "Addr")
+}
+
+// isSyncWaitable reports whether t is a sync.WaitGroup or sync.Cond (the
+// types whose Wait parks until other goroutines act).
+func isSyncWaitable(t types.Type) bool {
+	t = deref(t)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "WaitGroup" || named.Obj().Name() == "Cond"
+}
+
+func isHTTPClient(t types.Type) bool {
+	t = deref(t)
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Client"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// hasMethods reports whether the method set of t (or *t) contains every
+// named method.
+func hasMethods(t types.Type, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		if _, ok := t.(*types.Named); !ok {
+			if _, ok := t.(*types.Pointer); !ok {
+				return false
+			}
+		}
+	}
+	ms := types.NewMethodSet(t)
+	if ptr, ok := t.(*types.Pointer); !ok && ptr == nil {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	have := map[string]bool{}
+	for i := 0; i < ms.Len(); i++ {
+		have[ms.At(i).Obj().Name()] = true
+	}
+	for _, n := range names {
+		if !have[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// isTerminating builds the IsTerminatingCall hook with type facts: the
+// panic builtin, os.Exit, runtime.Goexit, and log.Fatal* end a path.
+func (p *Pkg) isTerminating(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			_, isBuiltin := p.Info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		switch pn.Imported().Path() {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		case "log":
+			return strings.HasPrefix(fun.Sel.Name, "Fatal") || strings.HasPrefix(fun.Sel.Name, "Panic")
+		}
+	}
+	return false
+}

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroutinelife: every `go` statement in flow-scoped packages must launch a
+// goroutine that is shutdown-aware. Two rules over the goroutine body's CFG:
+//
+//	R1 — the body (expanded one level into same-package callees) must contain
+//	     at least one shutdown mechanism: a channel receive / range-over-
+//	     channel / select with a receive case, a WaitGroup Done/Wait,
+//	     ctx.Done/Err, close(ch), or a read/accept on a closable conn or
+//	     listener (closing the handle unparks the goroutine).
+//
+//	R2 — every natural loop in the body must either have an exit edge
+//	     (break/return/cond) or contain a blocking node that can observe
+//	     shutdown. A `for { dial; retry }` loop with neither is the
+//	     blind-redial class the chaos suite only catches at runtime.
+func goroutineLifeCheck() Check {
+	return Check{
+		Name: "goroutinelife",
+		Doc:  "goroutines must be shutdown-aware (ctx/done channel/WaitGroup/closable I/O) on all paths",
+		Run:  runGoroutineLife,
+	}
+}
+
+func runGoroutineLife(cfg *Config, p *Pkg) []Finding {
+	if cfg.FlowScope != nil && !cfg.FlowScope(p) {
+		return nil
+	}
+	idx := p.funcDeclIndex()
+	seenLoop := map[token.Pos]bool{} // dedupe loops when one body has several launch sites
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if p.IsTestFile(gs.Pos()) {
+				return true
+			}
+			bodies := p.goroutineBodies(gs.Call, idx)
+			if len(bodies) == 0 {
+				// Callee outside the package (or dynamic). If the launch
+				// call itself reads a closable handle (go srv.Serve(ln)) or
+				// hands the goroutine a channel/ctx/WaitGroup it can wait
+				// on, trust it; otherwise we cannot see a mechanism.
+				if classifyCall(p, gs.Call).shutdownObserver() || callHasShutdownArg(p, gs.Call) {
+					return true
+				}
+				out = append(out, finding(p, gs.Pos(), "goroutinelife",
+					"goroutine launches opaque callee with no shutdown channel, ctx, or closable handle in its arguments"))
+				return true
+			}
+			sc := &shutdownScan{p: p, idx: idx, visited: map[ast.Node]bool{}}
+			mech := false
+			for _, b := range bodies {
+				if sc.scan(b, 2) {
+					mech = true
+					break
+				}
+			}
+			if !mech {
+				out = append(out, finding(p, gs.Pos(), "goroutinelife",
+					"goroutine has no shutdown mechanism (ctx/done channel/WaitGroup/closable I/O) on any path"))
+			}
+			for _, b := range bodies {
+				c := BuildCFG(b, p.isTerminating)
+				for _, loop := range c.Loops() {
+					if len(loop.Exits()) > 0 || loopObservesShutdown(p, c, loop) {
+						continue
+					}
+					pos := loopPos(loop, gs.Pos())
+					if seenLoop[pos] {
+						continue
+					}
+					seenLoop[pos] = true
+					out = append(out, finding(p, pos, "goroutinelife",
+						"goroutine loop can neither exit nor observe shutdown"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineBodies resolves the body (or bodies) the go statement runs: the
+// literal's body for `go func(){...}()`, the declaration body for a
+// same-package function or method. Unresolvable callees return nil.
+func (p *Pkg) goroutineBodies(call *ast.CallExpr, idx map[*types.Func]*ast.FuncDecl) []*ast.BlockStmt {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return []*ast.BlockStmt{fun.Body}
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			if d := idx[fn]; d != nil && d.Body != nil {
+				return []*ast.BlockStmt{d.Body}
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			if d := idx[fn]; d != nil && d.Body != nil {
+				return []*ast.BlockStmt{d.Body}
+			}
+		}
+	}
+	return nil
+}
+
+// callHasShutdownArg reports whether any argument gives the callee a way to
+// observe shutdown: a channel, a context, a conn/listener, or a WaitGroup.
+func callHasShutdownArg(p *Pkg, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		t := p.typeOf(a)
+		if t == nil {
+			continue
+		}
+		if isChanType(t) || isContextType(t) || isConnLike(t) || isListenerLike(t) || isSyncWaitable(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// shutdownScan is the R1 mechanism walker. It descends into nested function
+// literals (a closure the goroutine defines and runs carries its mechanisms)
+// and expands same-package callees up to the given depth.
+type shutdownScan struct {
+	p       *Pkg
+	idx     map[*types.Func]*ast.FuncDecl
+	visited map[ast.Node]bool
+}
+
+func (s *shutdownScan) scan(body *ast.BlockStmt, depth int) bool {
+	if body == nil || s.visited[body] {
+		return false
+	}
+	s.visited[body] = true
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(s.p.typeOf(e.X)) {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if selectHasRecv(s.p, e) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if s.mechanismCall(e) {
+				found = true
+				return false
+			}
+			if depth > 0 {
+				if d := s.calleeDecl(e); d != nil {
+					if s.scan(d.Body, depth-1) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mechanismCall classifies a single call as a shutdown mechanism.
+func (s *shutdownScan) mechanismCall(call *ast.CallExpr) bool {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "close" {
+			_, isBuiltin := s.p.Info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.SelectorExpr:
+		recv := s.p.typeOf(fun.X)
+		switch fun.Sel.Name {
+		case "Done", "Wait":
+			if isSyncWaitable(recv) {
+				return true
+			}
+			if fun.Sel.Name == "Done" && isContextType(recv) {
+				return true
+			}
+		case "Err", "Deadline":
+			if isContextType(recv) {
+				return true
+			}
+		}
+	}
+	return classifyCall(s.p, call).shutdownObserver()
+}
+
+// calleeDecl resolves a call to a same-package function/method declaration.
+func (s *shutdownScan) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := s.p.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return s.idx[fn]
+}
+
+// loopObservesShutdown reports whether any node inside the loop blocks on
+// something that unblocks at shutdown (receive, select, closable read) or
+// consults ctx.Done/Err.
+func loopObservesShutdown(p *Pkg, c *CFG, loop Loop) bool {
+	sc := &shutdownScan{p: p, visited: map[ast.Node]bool{}}
+	for b := range loop.Blocks {
+		for _, n := range b.Nodes {
+			for _, site := range classifyNode(p, c, n) {
+				if site.Effect.shutdownObserver() {
+					return true
+				}
+			}
+			obs := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if obs {
+					return false
+				}
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok && sc.mechanismCall(call) {
+					obs = true
+					return false
+				}
+				return true
+			})
+			if obs {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopPos picks a stable position for a loop finding: the smallest node
+// position inside the loop, falling back to the launch site.
+func loopPos(loop Loop, fallback token.Pos) token.Pos {
+	pos := token.NoPos
+	for b := range loop.Blocks {
+		for _, n := range b.Nodes {
+			if p := n.Pos(); p.IsValid() && (pos == token.NoPos || p < pos) {
+				pos = p
+			}
+		}
+	}
+	if pos == token.NoPos {
+		return fallback
+	}
+	return pos
+}
+
+// funcDeclIndex maps each function object to its declaration, for callee
+// expansion inside the package.
+func (p *Pkg) funcDeclIndex() map[*types.Func]*ast.FuncDecl {
+	idx := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				idx[fn] = fd
+			}
+		}
+	}
+	return idx
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

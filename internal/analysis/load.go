@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Loader type-checks every package of a module using only the standard
@@ -19,18 +21,33 @@ import (
 // a plain pass (no test files) that populates the import graph, and an
 // analysis pass that re-checks the package together with its in-package
 // _test.go files.
+//
+// LoadAll fans the work across a worker pool in three phases: parallel
+// parsing (the FileSet is safe for concurrent use), a serial import warm-up
+// that populates the plain-package cache bottom-up (the stdlib source
+// importer is not safe for concurrent use, and first-loads are where cycle
+// detection must be exact), then parallel with-tests type-checking, whose
+// import lookups are all warm cache hits. Results land in
+// directory-sorted slots, so finding order stays deterministic.
 type Loader struct {
 	Fset   *token.FileSet
 	root   string // absolute module root (directory containing go.mod)
 	module string // module path from go.mod
-	std    types.Importer
-	cache  map[string]*loadResult // plain packages by import path
-	parsed map[string]*parsedDir  // parse results by directory
+
+	stdMu sync.Mutex // srcimporter guard: it mutates internal caches
+	std   types.Importer
+
+	cacheMu sync.Mutex
+	cache   map[string]*loadResult // plain packages by import path
+
+	parseMu sync.Mutex
+	parsed  map[string]*parsedDir // parse results by directory
 }
 
 type loadResult struct {
-	pkg *types.Package
-	err error
+	pkg  *types.Package
+	err  error
+	done bool // false while the first load is still in flight (cycle marker)
 }
 
 // NewLoader builds a loader for the module rooted at root.
@@ -78,20 +95,27 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		return types.Unsafe, nil
 	}
 	if dir, ok := l.dirFor(path); ok {
+		l.cacheMu.Lock()
 		r, cached := l.cache[path]
 		if !cached {
 			r = &loadResult{}
 			l.cache[path] = r // pre-register: an import cycle fails below instead of recursing
-			r.pkg, r.err = l.typeCheck(dir, path, false, nil)
+			l.cacheMu.Unlock()
+			pkg, err := l.typeCheck(dir, path, false, nil)
+			l.cacheMu.Lock()
+			r.pkg, r.err, r.done = pkg, err, true
 		}
+		l.cacheMu.Unlock()
 		if r.err != nil {
 			return nil, r.err
 		}
-		if r.pkg == nil {
+		if !r.done || r.pkg == nil {
 			return nil, fmt.Errorf("analysis: import cycle through %q", path)
 		}
 		return r.pkg, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
@@ -130,28 +154,99 @@ func (l *Loader) LoadAll() ([]*Pkg, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Pkg
-	var errs []string
-	for _, dir := range dirs {
+	paths := make([]string, len(dirs))
+	for i, dir := range dirs {
 		rel, err := filepath.Rel(l.root, dir)
 		if err != nil {
 			return nil, err
 		}
-		path := l.module
+		paths[i] = l.module
 		if rel != "." {
-			path = l.module + "/" + filepath.ToSlash(rel)
+			paths[i] = l.module + "/" + filepath.ToSlash(rel)
 		}
-		p, err := l.LoadDir(dir, path)
+	}
+	workers := loadWorkers()
+	// Phase 1: parse every directory concurrently. parseDir caches by
+	// directory, so the type-checking phases below are pure cache hits.
+	runPool(workers, len(dirs), func(i int) {
+		_, _, _ = l.parseDir(dirs[i])
+	})
+	// Phase 2: serial import warm-up. Loading each package's plain pass in
+	// sorted order pulls every module-internal and stdlib dependency into
+	// the caches exactly once, on one goroutine. Errors are not collected
+	// here — the per-package pass below reports them with full context.
+	for _, path := range paths {
+		_, _ = l.Import(path)
+	}
+	// Phase 3: with-tests analysis passes in parallel. Slot results by
+	// index so package (and finding) order is independent of scheduling.
+	pkgSlots := make([]*Pkg, len(dirs))
+	errSlots := make([]string, len(dirs))
+	runPool(workers, len(dirs), func(i int) {
+		p, err := l.LoadDir(dirs[i], paths[i])
 		if err != nil {
-			errs = append(errs, err.Error())
+			errSlots[i] = err.Error()
+			return
+		}
+		pkgSlots[i] = p
+	})
+	var pkgs []*Pkg
+	var errs []string
+	for i := range dirs {
+		if errSlots[i] != "" {
+			errs = append(errs, errSlots[i])
 			continue
 		}
-		pkgs = append(pkgs, p)
+		if pkgSlots[i] != nil {
+			pkgs = append(pkgs, pkgSlots[i])
+		}
 	}
 	if len(errs) > 0 {
 		return pkgs, fmt.Errorf("analysis: %d package(s) failed to load:\n%s", len(errs), strings.Join(errs, "\n"))
 	}
 	return pkgs, nil
+}
+
+// loadWorkers sizes the pool: enough to keep cores busy, capped so the
+// srcimporter mutex does not just become a convoy.
+func loadWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runPool runs fn(0..n-1) across the given number of workers.
+func runPool(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // LoadDir type-checks the package in dir together with its in-package test
@@ -244,9 +339,12 @@ type parsedDir struct {
 }
 
 func (l *Loader) parseDir(dir string) (plain, test []*ast.File, err error) {
+	l.parseMu.Lock()
 	if pd, ok := l.parsed[dir]; ok {
+		l.parseMu.Unlock()
 		return pd.plain, pd.test, nil
 	}
+	l.parseMu.Unlock()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -267,6 +365,14 @@ func (l *Loader) parseDir(dir string) (plain, test []*ast.File, err error) {
 		} else {
 			pd.plain = append(pd.plain, f)
 		}
+	}
+	// Double-checked insert: if another worker parsed this directory while
+	// we did, its ASTs win — file identity must be stable across the plain
+	// and with-tests passes (Info facts are keyed by node pointer).
+	l.parseMu.Lock()
+	defer l.parseMu.Unlock()
+	if prior, ok := l.parsed[dir]; ok {
+		return prior.plain, prior.test, nil
 	}
 	l.parsed[dir] = pd
 	return pd.plain, pd.test, nil

@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestLoadAllDeterministicOrder: the parallel loader must return packages
+// in sorted directory order regardless of worker scheduling, with every
+// package slot filled — the ordering contract rtlint's output (and the
+// baseline machinery) depends on.
+func TestLoadAllDeterministicOrder(t *testing.T) {
+	root := repoRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	dirs := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		dirs[i] = p.Dir
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded incompletely", p.Path)
+		}
+	}
+	if !sort.StringsAreSorted(dirs) {
+		t.Fatalf("packages not in sorted directory order: %v", dirs)
+	}
+}

@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockheld: no blocking operation and no re-acquisition of the same lock
+// while a sync.Mutex/RWMutex is held, on any CFG path. A held-lock set is
+// propagated forward through the CFG (union at merges: "may be held"), with
+// defer-unlock accounting — `defer mu.Unlock()` keeps the lock held until
+// function exit rather than releasing at the defer site.
+//
+// The one sanctioned exception is the dedicated I/O mutex idiom: a mutex
+// whose name matches Config.IOLockRE (writeMu and friends) exists precisely
+// to serialize writes on a shared conn, so network I/O under it alone is not
+// a finding. Every other blocking class (channel ops, blocking selects,
+// sleeps, Waits, dials) under any lock is.
+func lockHeldCheck() Check {
+	return Check{
+		Name: "lockheld",
+		Doc:  "no blocking call or same-lock re-acquisition while a sync mutex is held on any path",
+		Run:  runLockHeld,
+	}
+}
+
+// heldLock is one may-held lock in the dataflow fact.
+type heldLock struct {
+	key   string // rendered lock expression, e.g. "c.writeMu"
+	rlock bool
+}
+
+type lockFact map[string]heldLock
+
+// lockOp is one lock-relevant operation inside a CFG node, replayed in
+// source order by the transfer function.
+type lockOp struct {
+	pos     token.Pos
+	site    ast.Node
+	key     string // for acquire/release
+	rlock   bool
+	acquire bool
+	release bool
+	effect  Effect // blocking effect when not a lock call
+	conds   bool   // effect site is sync.Cond.Wait (releases its lock; exempt)
+}
+
+func runLockHeld(cfg *Config, p *Pkg) []Finding {
+	if cfg.FlowScope != nil && !cfg.FlowScope(p) {
+		return nil
+	}
+	var out []Finding
+	for _, body := range p.funcBodies() {
+		if p.IsTestFile(body.Pos()) {
+			continue
+		}
+		out = append(out, lockHeldBody(cfg, p, body)...)
+	}
+	return out
+}
+
+// funcBodies enumerates every function body in the package — declarations
+// and function literals — each analyzed as its own intraprocedural unit.
+func (p *Pkg) funcBodies() []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					out = append(out, d.Body)
+				}
+			case *ast.FuncLit:
+				out = append(out, d.Body)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func lockHeldBody(cfg *Config, p *Pkg, body *ast.BlockStmt) []Finding {
+	c := BuildCFG(body, p.isTerminating)
+	// Fast path: no lock calls anywhere in this body.
+	ops := map[*Block][][]lockOp{}
+	any := false
+	for _, b := range c.Blocks {
+		perNode := make([][]lockOp, len(b.Nodes))
+		for i, n := range b.Nodes {
+			perNode[i] = nodeLockOps(p, c, n)
+			for _, op := range perNode[i] {
+				if op.acquire {
+					any = true
+				}
+			}
+		}
+		ops[b] = perNode
+	}
+	if !any {
+		return nil
+	}
+	transfer := func(b *Block, in lockFact) lockFact {
+		out := make(lockFact, len(in))
+		for k, v := range in {
+			out[k] = v
+		}
+		for _, perNode := range ops[b] {
+			for _, op := range perNode {
+				switch {
+				case op.acquire:
+					out[op.key] = heldLock{key: op.key, rlock: op.rlock}
+				case op.release:
+					delete(out, op.key)
+				}
+			}
+		}
+		return out
+	}
+	join := func(a, b lockFact) lockFact {
+		out := make(lockFact, len(a)+len(b))
+		for k, v := range a {
+			out[k] = v
+		}
+		for k, v := range b {
+			if _, ok := out[k]; !ok {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	equal := func(a, b lockFact) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if _, ok := b[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	in := ForwardSolve(c, lockFact{}, transfer, join, equal)
+	// Reporting pass: replay each block once from its solved IN fact.
+	var out []Finding
+	for _, b := range c.Blocks {
+		held, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		cur := make(lockFact, len(held))
+		for k, v := range held {
+			cur[k] = v
+		}
+		for _, perNode := range ops[b] {
+			for _, op := range perNode {
+				switch {
+				case op.acquire:
+					if _, dup := cur[op.key]; dup {
+						out = append(out, finding(p, op.pos, "lockheld",
+							"%s acquired again while already held (self-deadlock on any writer)", op.key))
+					}
+					cur[op.key] = heldLock{key: op.key, rlock: op.rlock}
+				case op.release:
+					delete(cur, op.key)
+				case op.effect.Blocking():
+					if len(cur) == 0 || op.conds {
+						continue
+					}
+					if netEffect(op.effect) && allIOExempt(cur, cfg) {
+						continue
+					}
+					out = append(out, finding(p, op.pos, "lockheld",
+						"%s while %s is held", op.effect, heldKeys(cur)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func netEffect(e Effect) bool { return e == EffectNetRead || e == EffectNetWrite }
+
+// allIOExempt reports whether every held lock is a dedicated I/O mutex by
+// name (last path segment matched against Config.IOLockRE).
+func allIOExempt(held lockFact, cfg *Config) bool {
+	if cfg.IOLockRE == nil {
+		return false
+	}
+	for k := range held {
+		name := k
+		if i := strings.LastIndexByte(k, '.'); i >= 0 {
+			name = k[i+1:]
+		}
+		if !cfg.IOLockRE.MatchString(name) {
+			return false
+		}
+	}
+	return true
+}
+
+func heldKeys(held lockFact) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// nodeLockOps extracts the lock acquisitions/releases and blocking effects
+// of one CFG node, in source order. Function literals are their own
+// analysis units and deferred unlocks hold until exit, so both are skipped.
+func nodeLockOps(p *Pkg, c *CFG, n ast.Node) []lockOp {
+	var out []lockOp
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		// Deferred calls run at exit: a deferred Unlock keeps the lock held
+		// through the body, and a deferred blocking call does not block here.
+		return nil
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := mutexCallOp(p, e); ok {
+				out = append(out, op)
+			}
+		}
+		return true
+	})
+	for _, site := range classifyNode(p, c, n) {
+		op := lockOp{pos: site.Node.Pos(), site: site.Node, effect: site.Effect}
+		if site.Effect == EffectWait {
+			if call, ok := site.Node.(*ast.CallExpr); ok {
+				if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && isSyncCond(p.typeOf(sel.X)) {
+					op.conds = true
+				}
+			}
+		}
+		out = append(out, op)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// mutexCallOp classifies a call as Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex (TryLock variants are ignored: the caller
+// branches on the result, so "held" is path-dependent in a way the name
+// alone cannot express).
+func mutexCallOp(p *Pkg, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var acquire, release, rlock bool
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, rlock = true, true
+	case "Unlock":
+		release = true
+	case "RUnlock":
+		release, rlock = true, true
+	default:
+		return lockOp{}, false
+	}
+	if !isSyncMutex(p.typeOf(sel.X)) {
+		return lockOp{}, false
+	}
+	return lockOp{
+		pos:     call.Pos(),
+		site:    call,
+		key:     exprKey(sel.X),
+		rlock:   rlock,
+		acquire: acquire,
+		release: release,
+	}, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	t = deref(t)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+func isSyncCond(t types.Type) bool {
+	t = deref(t)
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Cond"
+}
+
+// exprKey renders a lock expression as a stable identity string. Distinct
+// syntax renders distinctly; unrenderable expressions get a position-tagged
+// key so they never alias another lock.
+func exprKey(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	case *ast.IndexExpr:
+		return exprKey(x.X) + "[" + exprKey(x.Index) + "]"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		return exprKey(x.Fun) + "()"
+	default:
+		return fmt.Sprintf("expr@%d", e.Pos())
+	}
+}

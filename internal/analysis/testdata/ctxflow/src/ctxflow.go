@@ -1,0 +1,96 @@
+// Package ctxflow is the corpus for the deadline-propagation check: a
+// function that accepts a context must thread it — no re-rooting via
+// context.Background, no bare sleeps, no timer-only selects, and no
+// dropping the parameter on the floor while blocking.
+package ctxflow
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+func work(ctx context.Context) { _ = ctx.Err() }
+
+func run(ctx context.Context, c net.Conn) error {
+	_ = ctx.Err()
+	_, err := c.Write(nil)
+	return err
+}
+
+func audit(ctx context.Context) { _ = ctx.Err() }
+
+// reroot replaces the caller's deadline with a fresh root.
+func reroot(ctx context.Context) {
+	sub, cancel := context.WithTimeout(context.Background(), time.Second) // want "re-rooted via context.Background"
+	defer cancel()
+	work(sub)
+}
+
+// sleepy polls with a bare sleep instead of a ctx-aware timer.
+func sleepy(ctx context.Context) error {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep cannot observe ctx cancellation"
+	return ctx.Err()
+}
+
+// timerOnly waits on a stored timer and never on cancellation; the timer
+// is recognized through its reaching definition.
+func timerOnly(ctx context.Context, ch chan int) int {
+	if ctx == nil {
+		return -1
+	}
+	t := time.After(time.Second)
+	select {
+	case v := <-ch:
+		return v
+	case <-t: // want "select waits on time.After but never on ctx.Done"
+		return 0
+	}
+}
+
+// drain blocks on the channel but never consults its deadline.
+func drain(ctx context.Context, ch chan int) int { // want "accepts ctx but never threads it"
+	return <-ch
+}
+
+// derive is the compliant twin of reroot: the child deadline nests inside
+// the caller's.
+func derive(ctx context.Context, c net.Conn) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return run(sub, c)
+}
+
+// both races the timer against cancellation — the sanctioned shape.
+func both(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second):
+		return 0
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// detach hands fire-and-forget work a fresh root inside `go` — legal,
+// the goroutine outlives the request.
+func detach(ctx context.Context, done chan struct{}) {
+	go func() {
+		audit(context.Background())
+	}()
+	<-done
+	_ = ctx.Err()
+}
+
+// deferred cleanup also legitimately outlives the request deadline.
+func deferred(ctx context.Context, ch chan int) {
+	defer audit(context.Background())
+	<-ch
+	_ = ctx.Err()
+}
+
+// ignore opts out explicitly: an unnamed ctx documents "unused by design".
+func ignore(_ context.Context, ch chan int) int {
+	return <-ch
+}

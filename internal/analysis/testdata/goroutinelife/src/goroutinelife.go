@@ -1,0 +1,96 @@
+// Package goroutinelife is the corpus for the goroutine-lifecycle check:
+// every `go` statement must launch a goroutine that can observe shutdown
+// on all paths, and no goroutine loop may be both unexitable and blind.
+package goroutinelife
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type server struct {
+	done chan struct{}
+	jobs chan int
+	out  chan int
+}
+
+func poll()        {}
+func redial()      {}
+func handle(int)   {}
+func compute() int { return 0 }
+func sleeper() {
+	for {
+		time.Sleep(time.Millisecond) // want "goroutine loop can neither exit nor observe shutdown"
+		redial()
+	}
+}
+
+// leakAnon spins forever with no way to stop it.
+func leakAnon() {
+	go func() { // want "goroutine has no shutdown mechanism"
+		for {
+			poll() // want "goroutine loop can neither exit nor observe shutdown"
+		}
+	}()
+}
+
+// leakNamed launches a same-package blind-redial loop (expanded one level).
+func leakNamed() {
+	go sleeper() // want "goroutine has no shutdown mechanism"
+}
+
+// leakSend only ever sends; a send cannot observe shutdown.
+func leakSend(s *server) {
+	go func() { // want "goroutine has no shutdown mechanism"
+		s.out <- compute()
+	}()
+}
+
+// leakOpaque hands the goroutine nothing it could wait on.
+func leakOpaque() {
+	go fmt.Println("tick") // want "opaque callee"
+}
+
+// okSelect drains jobs until the done channel closes.
+func okSelect(s *server) {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case j := <-s.jobs:
+				handle(j)
+			}
+		}
+	}()
+}
+
+// okWaitGroup is the tracked-worker idiom: Done on exit, range until the
+// jobs channel closes.
+func okWaitGroup(wg *sync.WaitGroup, jobs chan int) {
+	go worker(wg, jobs)
+}
+
+func worker(wg *sync.WaitGroup, jobs chan int) {
+	defer wg.Done()
+	for j := range jobs {
+		handle(j)
+	}
+}
+
+// okObserver loops forever but parks on a receive each turn — closing kick
+// unparks it.
+func okObserver(kick chan struct{}) {
+	go func() {
+		for {
+			<-kick
+			poll()
+		}
+	}()
+}
+
+// okFuncValue launches an opaque func value, but hands it the done channel.
+func okFuncValue(run func(chan struct{}), done chan struct{}) {
+	go run(done)
+}

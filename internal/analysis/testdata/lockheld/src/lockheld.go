@@ -1,0 +1,101 @@
+// Package lockheld is the corpus for the lock-discipline check: no
+// blocking operation and no same-lock re-acquisition while a sync mutex
+// may be held, with defer-unlock accounting and the dedicated-I/O-mutex
+// exemption.
+package lockheld
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	writeMu sync.Mutex
+	cmu     sync.Mutex
+	cond    *sync.Cond
+	wg      sync.WaitGroup
+	ready   bool
+	ch      chan int
+	m       map[string]int
+	conn    net.Conn
+}
+
+// recvHeld parks on a channel while holding the mutex.
+func (s *store) recvHeld() int {
+	s.mu.Lock()
+	v := <-s.ch // want "channel receive while s.mu is held"
+	s.mu.Unlock()
+	return v
+}
+
+// relock acquires the lock it already holds: self-deadlock.
+func (s *store) relock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want "s.mu acquired again while already held"
+}
+
+// sleepHeld sleeps under a deferred unlock (held until exit).
+func (s *store) sleepHeld(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(d) // want "sleep while s.mu is held"
+}
+
+// waitPath releases on one branch only; the fall-through path still holds.
+func (s *store) waitPath(flush bool) {
+	s.mu.Lock()
+	if flush {
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Wait() // want "Wait while s.mu is held"
+	s.mu.Unlock()
+}
+
+// writeHeld writes the shared conn under the general state mutex — the
+// exemption is only for dedicated I/O mutexes.
+func (s *store) writeHeld(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(b) // want "network write while s.mu is held"
+}
+
+// lookupThenSend is the compliant twin of recvHeld: release, then block.
+func (s *store) lookupThenSend(k string) {
+	s.mu.Lock()
+	v := s.m[k]
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// writeSerialized is the sanctioned dedicated write-mutex idiom.
+func (s *store) writeSerialized(b []byte) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.conn.Write(b)
+}
+
+// tryEnqueue holds a read lock across a select with default — never parks.
+func (s *store) tryEnqueue(v int) bool {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// condWait is the sanctioned Cond pattern: Wait releases the lock itself.
+func (s *store) condWait() {
+	s.cmu.Lock()
+	for !s.ready {
+		s.cond.Wait()
+	}
+	s.cmu.Unlock()
+}

@@ -1,0 +1,45 @@
+// Package scratch seeds one representative bug per flow check. The
+// TestSeededScratch self-test (run by `make lint`) asserts that each of
+// goroutinelife, lockheld and ctxflow catches its bug here — a canary that
+// the CFG engine itself still fires, independent of the repo being clean.
+package scratch
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type daemon struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// start leaks a poll loop: no shutdown mechanism, no loop exit.
+func (d *daemon) start() {
+	go func() {
+		for {
+			time.Sleep(time.Millisecond)
+			d.tick()
+		}
+	}()
+}
+
+func (d *daemon) tick() {}
+
+// pump parks on the channel while holding the mutex.
+func (d *daemon) pump() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n = <-d.ch
+}
+
+// flush accepts a deadline and immediately re-roots it away.
+func (d *daemon) flush(ctx context.Context) {
+	sub, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	d.wait(sub)
+}
+
+func (d *daemon) wait(ctx context.Context) { _ = ctx.Err() }

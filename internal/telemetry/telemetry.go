@@ -165,9 +165,11 @@ func NewRegistry() *Registry {
 	return &Registry{byName: map[string]*family{}}
 }
 
-// lookup returns (creating if needed) the series for name+labels, enforcing
-// one metric type per family.
-func (r *Registry) lookup(name, help, typ string, labels Labels) *series {
+// lookup returns (creating if needed) the series for name+labels. A
+// registration that conflicts with the family's established identity —
+// different metric type or different help text — is a descriptive error
+// rather than a silent first-writer-wins.
+func (r *Registry) lookup(name, help, typ string, labels Labels) (*series, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f, ok := r.byName[name]
@@ -177,7 +179,10 @@ func (r *Registry) lookup(name, help, typ string, labels Labels) *series {
 		r.families = append(r.families, f)
 	}
 	if f.typ != typ {
-		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.typ, typ))
+		return nil, fmt.Errorf("telemetry: metric %q already registered as %s, re-registered as %s", name, f.typ, typ)
+	}
+	if f.help != help {
+		return nil, fmt.Errorf("telemetry: metric %q help redefined: %q vs %q", name, f.help, help)
 	}
 	key := labels.render()
 	s, ok := f.byLabels[key]
@@ -186,65 +191,171 @@ func (r *Registry) lookup(name, help, typ string, labels Labels) *series {
 		f.byLabels[key] = s
 		f.series = append(f.series, s)
 	}
-	return s
+	return s, nil
 }
 
-// Counter returns the counter for name+labels, registering it on first use.
-func (r *Registry) Counter(name, help string, labels Labels) *Counter {
-	s := r.lookup(name, help, "counter", labels)
+// RegisterCounter returns the counter for name+labels, creating it on first
+// use. Re-registration with an identical spec is idempotent and returns the
+// same handle; a conflicting spec is an error.
+func (r *Registry) RegisterCounter(name, help string, labels Labels) (*Counter, error) {
+	s, err := r.lookup(name, help, "counter", labels)
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if s.counter == nil {
 		s.counter = &Counter{}
 	}
-	return s.counter
+	return s.counter, nil
 }
 
-// Gauge returns the gauge for name+labels, registering it on first use.
-func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
-	s := r.lookup(name, help, "gauge", labels)
+// RegisterGauge returns the gauge for name+labels, creating it on first
+// use. Registering a value gauge over a derived (GaugeFunc) series is an
+// error: the function would silently shadow the value at scrape time.
+func (r *Registry) RegisterGauge(name, help string, labels Labels) (*Gauge, error) {
+	s, err := r.lookup(name, help, "gauge", labels)
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if s.gaugeFn != nil {
+		return nil, fmt.Errorf("telemetry: gauge %q%s already registered as a derived gauge (GaugeFunc)", name, s.labels)
+	}
 	if s.gauge == nil {
 		s.gauge = &Gauge{}
 	}
-	return s.gauge
+	return s.gauge, nil
 }
 
-// GaugeFunc registers a derived gauge: fn is evaluated at scrape time, so
-// the series always reflects the current value of whatever it is computed
-// from (e.g. a ratio of two live counters). fn must be safe for concurrent
-// use. Re-registering the same name+labels replaces the function.
-func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+// RegisterGaugeFunc registers a derived gauge: fn is evaluated at scrape
+// time, so the series always reflects the current value of whatever it is
+// computed from (e.g. a ratio of two live counters). fn must be safe for
+// concurrent use. Registering over an existing function or value gauge is
+// an error — two closures cannot be compared for idempotence, and silently
+// keeping either one hides a stale-closure bug. Use SetGaugeFunc when
+// replacement is the intent (e.g. a re-created component re-binding its
+// scrape closure).
+func (r *Registry) RegisterGaugeFunc(name, help string, labels Labels, fn func() float64) error {
 	if fn == nil {
-		panic("telemetry: nil GaugeFunc")
+		return fmt.Errorf("telemetry: nil GaugeFunc for %q", name)
 	}
-	s := r.lookup(name, help, "gauge", labels)
+	s, err := r.lookup(name, help, "gauge", labels)
+	if err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if s.gaugeFn != nil {
+		return fmt.Errorf("telemetry: derived gauge %q%s already registered; use SetGaugeFunc to replace it", name, s.labels)
+	}
+	if s.gauge != nil {
+		return fmt.Errorf("telemetry: gauge %q%s already registered as a value gauge", name, s.labels)
+	}
 	s.gaugeFn = fn
+	return nil
 }
 
-// Histogram returns the histogram for name+labels, registering it on first
-// use with the given bucket bounds (nil = DefLatencyBuckets).
-func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
-	s := r.lookup(name, help, "histogram", labels)
+// SetGaugeFunc registers or explicitly replaces the derived gauge for
+// name+labels. This is the re-bind path for components that are torn down
+// and re-created (a fabric backend re-joining re-points the series at the
+// new breaker); family type/help conflicts still error.
+func (r *Registry) SetGaugeFunc(name, help string, labels Labels, fn func() float64) error {
+	if fn == nil {
+		return fmt.Errorf("telemetry: nil GaugeFunc for %q", name)
+	}
+	s, err := r.lookup(name, help, "gauge", labels)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.gauge != nil {
+		return fmt.Errorf("telemetry: gauge %q%s already registered as a value gauge", name, s.labels)
+	}
+	s.gaugeFn = fn
+	return nil
+}
+
+// RegisterHistogram returns the histogram for name+labels, creating it on
+// first use with the given bucket bounds (nil = DefLatencyBuckets).
+// Re-registration with different bounds is an error — the original buckets
+// would silently keep counting otherwise.
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, bounds []float64) (*Histogram, error) {
+	s, err := r.lookup(name, help, "histogram", labels)
+	if err != nil {
+		return nil, err
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	// The exposition format mandates a final +Inf bucket carrying the
+	// total sample count; writeSeries appends it. Callers that include
+	// +Inf themselves would otherwise produce a duplicate le="+Inf"
+	// series, so trailing infinite bounds are dropped here.
+	for len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], 1) {
+		bounds = bounds[:len(bounds)-1]
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if s.hist == nil {
-		if bounds == nil {
-			bounds = DefLatencyBuckets
-		}
-		// The exposition format mandates a final +Inf bucket carrying the
-		// total sample count; writeSeries appends it. Callers that include
-		// +Inf themselves would otherwise produce a duplicate le="+Inf"
-		// series, so trailing infinite bounds are dropped here.
-		for len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], 1) {
-			bounds = bounds[:len(bounds)-1]
-		}
 		s.hist = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+		return s.hist, nil
 	}
-	return s.hist
+	if !equalBounds(s.hist.bounds, bounds) {
+		return nil, fmt.Errorf("telemetry: histogram %q%s bounds redefined: %v vs %v", name, s.labels, s.hist.bounds, bounds)
+	}
+	return s.hist, nil
+}
+
+// equalBounds compares bucket specs bit-for-bit: bounds are configured
+// constants, not computed values, so identity — not epsilon closeness —
+// is the right notion of "same histogram".
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// mustRegister turns a registration conflict into a panic for the
+// convenience constructors, where a collision is a programming error.
+func mustRegister(err error) {
+	if err != nil {
+		panic("telemetry: " + strings.TrimPrefix(err.Error(), "telemetry: "))
+	}
+}
+
+// Counter is the panic-on-conflict convenience form of RegisterCounter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c, err := r.RegisterCounter(name, help, labels)
+	mustRegister(err)
+	return c
+}
+
+// Gauge is the panic-on-conflict convenience form of RegisterGauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g, err := r.RegisterGauge(name, help, labels)
+	mustRegister(err)
+	return g
+}
+
+// GaugeFunc is the panic-on-conflict convenience form of RegisterGaugeFunc.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	mustRegister(r.RegisterGaugeFunc(name, help, labels, fn))
+}
+
+// Histogram is the panic-on-conflict convenience form of RegisterHistogram.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	h, err := r.RegisterHistogram(name, help, labels, bounds)
+	mustRegister(err)
+	return h
 }
 
 // WriteText renders every registered family in the Prometheus text

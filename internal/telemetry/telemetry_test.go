@@ -234,3 +234,69 @@ func TestGaugeFuncNilPanics(t *testing.T) {
 	}()
 	NewRegistry().GaugeFunc("broken", "b", nil, nil)
 }
+
+// TestRegistrationCollisions: conflicting re-registrations must fail with a
+// descriptive error, never silently shadow the established series. The
+// matching spec is always idempotent.
+func TestRegistrationCollisions(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.RegisterCounter("m", "help", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RegisterCounter("m", "help", nil); err != nil {
+		t.Fatalf("idempotent re-registration errored: %v", err)
+	}
+	if _, err := r.RegisterGauge("m", "help", nil); err == nil || !strings.Contains(err.Error(), "already registered as counter") {
+		t.Fatalf("type collision not reported: %v", err)
+	}
+	if _, err := r.RegisterCounter("m", "different help", nil); err == nil || !strings.Contains(err.Error(), "help redefined") {
+		t.Fatalf("help collision not reported: %v", err)
+	}
+
+	if _, err := r.RegisterHistogram("lat", "h", nil, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RegisterHistogram("lat", "h", nil, []float64{1, 2}); err != nil {
+		t.Fatalf("same-bounds histogram re-registration errored: %v", err)
+	}
+	if _, err := r.RegisterHistogram("lat", "h", nil, []float64{1, 2, 5}); err == nil || !strings.Contains(err.Error(), "bounds redefined") {
+		t.Fatalf("bounds collision not reported: %v", err)
+	}
+
+	fn := func() float64 { return 1 }
+	if err := r.RegisterGaugeFunc("derived", "d", nil, fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterGaugeFunc("derived", "d", nil, fn); err == nil || !strings.Contains(err.Error(), "use SetGaugeFunc") {
+		t.Fatalf("duplicate GaugeFunc not reported: %v", err)
+	}
+	if _, err := r.RegisterGauge("derived", "d", nil); err == nil || !strings.Contains(err.Error(), "derived gauge") {
+		t.Fatalf("value-gauge-over-func collision not reported: %v", err)
+	}
+	if err := r.SetGaugeFunc("derived", "d", nil, func() float64 { return 2 }); err != nil {
+		t.Fatalf("explicit SetGaugeFunc replacement errored: %v", err)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "derived 2") {
+		t.Fatalf("SetGaugeFunc did not replace the closure:\n%s", sb.String())
+	}
+
+	if _, err := r.RegisterGauge("plain", "p", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterGaugeFunc("plain", "p", nil, fn); err == nil || !strings.Contains(err.Error(), "value gauge") {
+		t.Fatalf("func-over-value-gauge collision not reported: %v", err)
+	}
+
+	// The panic-on-conflict convenience form carries the same message.
+	defer func() {
+		rec := recover()
+		if rec == nil || !strings.Contains(rec.(string), "already registered as counter") {
+			t.Fatalf("convenience wrapper should panic with the descriptive error, got %v", rec)
+		}
+	}()
+	r.Gauge("m", "help", nil)
+}
