@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the tier-1 verify path:
 # gofmt + build + vet + rtlint + race-enabled tests (scripts/check.sh).
 
-.PHONY: check build vet lint test race chaos bench bench-tables serve report
+.PHONY: check build vet lint test race chaos bench bench-serve bench-tables serve report
 
 check:
 	./scripts/check.sh
@@ -37,6 +37,13 @@ chaos:
 # quiet machine; the regression gate compares speedup ratios, not ns/op.
 bench:
 	go run ./cmd/benchperf -runs 5 -out BENCH_tensor.json
+
+# Measure micro-batched serving against the one-request-at-a-time path and
+# refresh the committed record. The gate is the batched/single RPS ratio at
+# batch 8 (duplicate-heavy burst, cold cache): machine-comparable, floored at
+# 2x, and compared against the previously committed file.
+bench-serve:
+	go run ./cmd/benchperf -serve -runs 5 -out BENCH_serve.json
 
 # Regenerate the paper tables/figures at reduced budget (needs
 # testdata/detector.rtwt from `go run ./cmd/trainyolo`).

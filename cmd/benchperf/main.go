@@ -10,10 +10,19 @@
 // previously committed file. Raw ns/op, allocs/op and B/op medians are
 // recorded for the record but never gated (they move with the hardware).
 //
+// The -serve flag switches to the serving suite (see serve.go): end-to-end
+// executor benchmarks of micro-batched versus one-at-a-time request handling,
+// written to BENCH_serve.json and gated on the batched/single throughput
+// ratio. -prev points the gate at a different previously committed file than
+// -out, so CI can write a scratch artifact while comparing against the
+// committed history.
+//
 // Usage:
 //
 //	go run ./cmd/benchperf -runs 5 -out BENCH_tensor.json   # full (make bench)
 //	go run ./cmd/benchperf -smoke -out out/bench_smoke.json # CI smoke step
+//	go run ./cmd/benchperf -serve -out BENCH_serve.json     # serving suite (make bench-serve)
+//	go run ./cmd/benchperf -serve -smoke -prev BENCH_serve.json -out out/bench_serve_smoke.json
 package main
 
 import (
@@ -73,9 +82,11 @@ type bench struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_tensor.json", "output JSON path")
+	out := flag.String("out", "", "output JSON path (default BENCH_tensor.json, or BENCH_serve.json with -serve)")
 	runs := flag.Int("runs", 5, "timed runs per benchmark; medians are reported")
 	smoke := flag.Bool("smoke", false, "single fast run per benchmark (CI gate)")
+	serveSuite := flag.Bool("serve", false, "run the serving suite (micro-batched vs single-request executor) instead of the tensor suite")
+	prevPath := flag.String("prev", "", "previously committed bench file to gate against (default: the -out path)")
 	filter := flag.String("bench", "", "regexp selecting benchmarks to run (default all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the timed windows")
 	flag.Parse()
@@ -86,6 +97,18 @@ func main() {
 	if *runs < 1 {
 		fmt.Fprintln(os.Stderr, "benchperf: -runs must be >= 1")
 		os.Exit(2)
+	}
+	if *out == "" {
+		*out = "BENCH_tensor.json"
+		if *serveSuite {
+			*out = "BENCH_serve.json"
+		}
+	}
+	if *prevPath == "" {
+		*prevPath = *out
+	}
+	if *serveSuite {
+		os.Exit(serveMain(*out, *prevPath, *runs, *smoke))
 	}
 
 	var sel *regexp.Regexp
@@ -116,7 +139,7 @@ func main() {
 		}
 	}
 
-	prev := readPrevious(*out)
+	prev := readPrevious(*prevPath)
 
 	file := benchFile{
 		SchemaVersion: 1,

@@ -1,0 +1,118 @@
+package main
+
+// The -perf mode renders the committed perf records (BENCH_tensor.json from
+// `make bench`, BENCH_serve.json from `make bench-serve`) as aligned text
+// tables — the human view of the machine-gated artifacts, kept in benchtab
+// because these are the performance tables of the repo the way Tables I–VI
+// are the evaluation tables of the paper. The two files have different
+// shapes (kernel speedups vs serving throughput), so each gets its own
+// renderer, dispatched on the fields present.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type perfKernelBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	RefNsPerOp  float64 `json:"ref_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type perfServeBench struct {
+	Name        string  `json:"name"`
+	Requests    int     `json:"requests"`
+	RPS         float64 `json:"rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	BaselineRPS float64 `json:"baseline_rps"`
+	Ratio       float64 `json:"ratio"`
+	Gated       bool    `json:"gated"`
+}
+
+type perfFile struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Runs       int    `json:"runs"`
+	Smoke      bool   `json:"smoke"`
+}
+
+// renderPerf prints one perf record; the benchmark shape decides the table.
+func renderPerf(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f struct {
+		perfFile
+		Benchmarks []json.RawMessage `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	mode := "full"
+	if f.Smoke {
+		mode = "smoke"
+	}
+	fmt.Printf("%s  (%s, GOMAXPROCS=%d, %d runs, %s)\n", path, f.GoVersion, f.GOMAXPROCS, f.Runs, mode)
+	if len(f.Benchmarks) == 0 {
+		fmt.Println("  (no benchmarks)")
+		return nil
+	}
+	if strings.Contains(string(f.Benchmarks[0]), `"rps"`) {
+		return renderServePerf(f.Benchmarks)
+	}
+	return renderKernelPerf(f.Benchmarks)
+}
+
+func renderKernelPerf(raw []json.RawMessage) error {
+	fmt.Printf("  %-20s %14s %12s %14s %9s\n", "benchmark", "ns/op", "allocs/op", "ref ns/op", "speedup")
+	for _, r := range raw {
+		var b perfKernelBench
+		if err := json.Unmarshal(r, &b); err != nil {
+			return err
+		}
+		fmt.Printf("  %-20s %14.0f %12.1f %14.0f %8.2fx\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp, b.RefNsPerOp, b.Speedup)
+	}
+	return nil
+}
+
+func renderServePerf(raw []json.RawMessage) error {
+	fmt.Printf("  %-20s %10s %10s %10s %9s  %s\n", "benchmark", "req/s", "p50 ms", "p99 ms", "ratio", "gate")
+	for _, r := range raw {
+		var b perfServeBench
+		if err := json.Unmarshal(r, &b); err != nil {
+			return err
+		}
+		gate := "recorded"
+		if b.Gated {
+			gate = "gated"
+		}
+		ratio := "-"
+		if b.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", b.Ratio)
+		}
+		fmt.Printf("  %-20s %10.1f %10.2f %10.2f %9s  %s\n",
+			b.Name, b.RPS, b.P50Ms, b.P99Ms, ratio, gate)
+	}
+	return nil
+}
+
+// runPerf renders each comma-separated perf record path.
+func runPerf(paths string) error {
+	for i, p := range strings.Split(paths, ",") {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := renderPerf(strings.TrimSpace(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -40,6 +40,9 @@ func run() error {
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "job queue capacity (0 = 2×workers)")
 		cache      = flag.Int("cache", 128, "evaluation result cache entries (negative disables)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "evaluation result cache byte budget (0 = 64 MiB, negative = entries-only accounting)")
+		batchSize  = flag.Int("batch-size", 0, "micro-batch size: coalesce up to this many concurrent requests per dispatch (0 or 1 = no batching)")
+		batchWait  = flag.Duration("batch-deadline", 0, "longest a parked request waits for its micro-batch to fill (0 = 2ms)")
 		timeout    = flag.Duration("timeout", 2*time.Minute, "per-job deadline")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof (off by default: the profiler leaks operational detail, enable only on trusted networks)")
@@ -52,7 +55,8 @@ func run() error {
 	}
 
 	cfg := serve.Config{
-		Workers: *workers, QueueSize: *queue, CacheSize: *cache, JobTimeout: *timeout,
+		Workers: *workers, QueueSize: *queue, CacheSize: *cache, CacheBytes: *cacheBytes,
+		BatchSize: *batchSize, BatchDeadline: *batchWait, JobTimeout: *timeout,
 		EnablePprof: *pprofOn,
 	}
 	// One executor (worker pool + cache) behind both transports: the HTTP
@@ -74,6 +78,13 @@ func run() error {
 	fmt.Printf("servd: listening on %s (weights %s)\n", *addr, *weights)
 	if *pprofOn {
 		fmt.Printf("servd: profiler exposed at /debug/pprof\n")
+	}
+	if *batchSize > 1 {
+		wait := *batchWait
+		if wait <= 0 {
+			wait = 2 * time.Millisecond
+		}
+		fmt.Printf("servd: micro-batching up to %d requests per dispatch (deadline %s)\n", *batchSize, wait)
 	}
 
 	var node *fabric.Node

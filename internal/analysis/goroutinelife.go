@@ -98,13 +98,13 @@ func (p *Pkg) goroutineBodies(call *ast.CallExpr, idx map[*types.Func]*ast.FuncD
 		return []*ast.BlockStmt{fun.Body}
 	case *ast.Ident:
 		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
-			if d := idx[fn]; d != nil && d.Body != nil {
+			if d := idx[fn.Origin()]; d != nil && d.Body != nil {
 				return []*ast.BlockStmt{d.Body}
 			}
 		}
 	case *ast.SelectorExpr:
 		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
-			if d := idx[fn]; d != nil && d.Body != nil {
+			if d := idx[fn.Origin()]; d != nil && d.Body != nil {
 				return []*ast.BlockStmt{d.Body}
 			}
 		}
@@ -219,7 +219,9 @@ func (s *shutdownScan) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
 	if !ok {
 		return nil
 	}
-	return s.idx[fn]
+	// A call through a generic receiver or instantiated function resolves to
+	// the instantiation's object; the declaration index is keyed by origin.
+	return s.idx[fn.Origin()]
 }
 
 // loopObservesShutdown reports whether any node inside the loop blocks on

@@ -94,3 +94,40 @@ func okObserver(kick chan struct{}) {
 func okFuncValue(run func(chan struct{}), done chan struct{}) {
 	go run(done)
 }
+
+// batcher is the generic-coalescer shape: the run loop parks on a receive,
+// so closing `in` is the shutdown signal. The launch call resolves to an
+// *instantiated* method object — the check must map it back to the generic
+// declaration (Origin) rather than treating the callee as opaque.
+type batcher[T any] struct {
+	in chan T
+}
+
+// okGenericMethod launches a generic-receiver method that observes shutdown.
+func okGenericMethod() {
+	b := &batcher[int]{in: make(chan int)}
+	go b.run()
+}
+
+func (b *batcher[T]) run() {
+	for {
+		v, ok := <-b.in
+		if !ok {
+			return
+		}
+		_ = v
+	}
+}
+
+// leakGenericMethod proves the generic body is actually scanned, not just
+// resolved: a blind spin inside an instantiated method still leaks.
+func leakGenericMethod() {
+	b := &batcher[int]{}
+	go b.spin() // want "goroutine has no shutdown mechanism"
+}
+
+func (b *batcher[T]) spin() {
+	for {
+		poll() // want "goroutine loop can neither exit nor observe shutdown"
+	}
+}

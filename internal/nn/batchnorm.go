@@ -49,6 +49,10 @@ func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 // SetTraining toggles between batch statistics and running statistics.
 func (b *BatchNorm2D) SetTraining(training bool) { b.training = training }
 
+// Training reports the current mode (ConvBNLeaky consults it to decide
+// whether the fused eval kernel may run).
+func (b *BatchNorm2D) Training() bool { return b.training }
+
 // Forward normalizes x per channel.
 func (b *BatchNorm2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)

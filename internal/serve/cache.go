@@ -3,24 +3,37 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"roadtrojan/internal/eval"
 )
 
-// lruCache is a fixed-capacity LRU map guarding evaluation results. It is
-// safe for concurrent use; a zero capacity disables caching entirely.
+// lruCache is the evaluation result cache, bounded two ways: by entry count
+// (the legacy CacheSize knob) and by estimated payload bytes, so a run of
+// large batched results cannot blow memory no matter how small their count.
+// It is safe for concurrent use; a non-positive entry capacity disables
+// caching entirely.
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List
-	items map[string]*list.Element
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	curBytes   int64
+	ll         *list.List
+	items      map[string]*list.Element
 }
 
 type lruEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	size int64
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+func newLRUCache(maxEntries int, maxBytes int64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
 }
 
 // get returns the cached value and marks it most recently used.
@@ -35,24 +48,37 @@ func (c *lruCache) get(key string) (any, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-// put inserts or refreshes key, evicting the least recently used entry when
-// over capacity.
-func (c *lruCache) put(key string, val any) {
-	if c.cap <= 0 {
+// put inserts or refreshes key with the given payload size, evicting least
+// recently used entries until both the entry and byte budgets hold. A value
+// whose size alone exceeds the byte budget is not cached at all — one
+// oversized result must not wipe the whole cache.
+func (c *lruCache) put(key string, val any, size int64) {
+	if c.maxEntries <= 0 {
+		return
+	}
+	if size < 0 {
+		size = 0
+	}
+	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).val = val
-		return
+		e := el.Value.(*lruEntry)
+		c.curBytes += size - e.size
+		e.val, e.size = val, size
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, size: size})
+		c.curBytes += size
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
-	for c.ll.Len() > c.cap {
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.curBytes > c.maxBytes) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		e := oldest.Value.(*lruEntry)
+		delete(c.items, e.key)
+		c.curBytes -= e.size
 	}
 }
 
@@ -61,4 +87,29 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// bytes reports the estimated payload bytes currently held (the
+// serve_cache_bytes gauge).
+func (c *lruCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}
+
+// detailBytes estimates the in-memory payload of one cached evaluation
+// result: the Detail struct plus each run's frame slice. The estimate only
+// needs to be proportional and stable — the byte budget is a memory guard,
+// not an accounting ledger.
+func detailBytes(d eval.Detail) int64 {
+	const (
+		base     = 128 // Detail struct + map/list bookkeeping
+		perRun   = 32  // slice header + growth slack
+		perFrame = 40  // metrics.FrameResult
+	)
+	n := int64(base)
+	for _, run := range d.Runs {
+		n += perRun + perFrame*int64(len(run))
+	}
+	return n
 }

@@ -1,0 +1,21 @@
+package serve
+
+import "time"
+
+// Clock abstracts time for the micro-batching coalescer so its deadline
+// flush is testable with injected time, mirroring internal/fabric's Clock
+// (serve cannot import fabric — fabric fronts serve). Production uses
+// WallClock; the coalescer hammer tests inject a fake whose After channel
+// fires on demand.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// WallClock returns the real-time clock.
+func WallClock() Clock { return wallClock{} }

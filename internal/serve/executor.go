@@ -12,6 +12,7 @@ import (
 
 	"roadtrojan/internal/attack"
 	"roadtrojan/internal/eval"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/scene"
 	"roadtrojan/internal/telemetry"
 	"roadtrojan/internal/tensor"
@@ -36,19 +37,30 @@ type Executor struct {
 	jobs   chan *task
 	wg     sync.WaitGroup
 
+	// Micro-batching coalescers, nil unless Config.BatchSize > 1.
+	evalCo   *coalescer[*evalCall]
+	detectCo *coalescer[*detectCall]
+
 	drainMu  sync.RWMutex
 	draining bool
+	// poolClosed guards the jobs channel close: the coalescers' drain
+	// flushes may still enqueue after draining is set (external intake is
+	// already refused), so the channel closes only once they have exited.
+	poolClosed bool
 
 	// jobSeconds is an EWMA of observed job wall time (float64 bits),
 	// feeding the Retry-After hint on queue-full rejections.
 	jobSeconds atomic.Uint64
 
-	queueDepth  *telemetry.Gauge
-	inflight    *telemetry.Gauge
-	cacheHits   *telemetry.Counter
-	cacheMisses *telemetry.Counter
-	rejected    *telemetry.Counter
-	panics      *telemetry.Counter
+	queueDepth     *telemetry.Gauge
+	inflight       *telemetry.Gauge
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	rejected       *telemetry.Counter
+	panics         *telemetry.Counter
+	batchDedup     *telemetry.Counter
+	batchOccupancy *telemetry.Histogram
+	flushCounters  map[string]*telemetry.Counter
 }
 
 // roadSceneSeed fixes the shared road texture; like eval.Env, "the
@@ -68,7 +80,7 @@ func NewExecutor(det *yolo.Model, cfg Config, reg *telemetry.Registry) *Executor
 		cfg:   cfg,
 		reg:   reg,
 		cam:   scene.DefaultCamera(),
-		cache: newLRUCache(cfg.CacheSize),
+		cache: newLRUCache(cfg.CacheSize, cfg.CacheBytes),
 		jobs:  make(chan *task, cfg.QueueSize),
 
 		queueDepth:  reg.Gauge("serve_queue_depth", "jobs waiting in the bounded queue", nil),
@@ -77,9 +89,19 @@ func NewExecutor(det *yolo.Model, cfg Config, reg *telemetry.Registry) *Executor
 		cacheMisses: reg.Counter("serve_cache_misses_total", "evaluate requests that had to run", nil),
 		rejected:    reg.Counter("serve_rejected_total", "requests rejected with 429 (queue full)", nil),
 		panics:      reg.Counter("serve_job_panics_total", "jobs that panicked and were converted to errors", nil),
+		batchDedup:  reg.Counter("serve_batch_dedup_total", "batched evaluate requests collapsed onto another request's run (duplicate cache key in one flush)", nil),
+		batchOccupancy: reg.Histogram("serve_batch_occupancy", "requests per coalescer flush",
+			nil, []float64{1, 2, 4, 8, 16}),
+		flushCounters: map[string]*telemetry.Counter{},
+	}
+	for _, reason := range []string{flushSize, flushDeadline, flushDrain} {
+		e.flushCounters[reason] = reg.Counter("serve_batch_flushes_total", "coalescer flushes by trigger",
+			telemetry.Labels{"reason": reason})
 	}
 	reg.Gauge("serve_workers", "worker pool size", nil).Set(float64(cfg.Workers))
 	reg.Gauge("serve_queue_capacity", "bounded job queue capacity", nil).Set(float64(cfg.QueueSize))
+	reg.GaugeFunc("serve_cache_bytes", "estimated payload bytes held by the result cache", nil,
+		func() float64 { return float64(e.cache.bytes()) })
 	// The hit ratio is derived at scrape time from the live counters, so
 	// /metrics exposes cache-affinity quality without a second bookkeeping
 	// path that could drift from the counters.
@@ -105,10 +127,43 @@ func NewExecutor(det *yolo.Model, cfg Config, reg *telemetry.Registry) *Executor
 	for i := 0; i < cfg.Workers; i++ {
 		replica := det.Clone()
 		replica.SetTraining(false)
+		// Fused eval kernels with exact parity: one pass per conv block,
+		// bit-identical output — replicas answer the same bytes as an
+		// unfused detector would.
+		replica.SetFused(true)
 		e.wg.Add(1)
 		go e.worker(replica)
 	}
+	if cfg.BatchSize > 1 {
+		e.evalCo = newCoalescer(cfg.BatchSize, cfg.QueueSize, cfg.BatchDeadline, cfg.Clock, e.flushEvaluate)
+		e.detectCo = newCoalescer(cfg.BatchSize, cfg.QueueSize, cfg.BatchDeadline, cfg.Clock, e.flushDetect)
+	}
 	return e
+}
+
+// flushCounter returns the serve_batch_flushes_total counter for a reason.
+func (e *Executor) flushCounter(reason string) *telemetry.Counter {
+	return e.flushCounters[reason]
+}
+
+// enqueueTask places a coalescer-dispatched task on the bounded queue
+// without blocking. It gates on poolClosed rather than draining: drain
+// flushes run after external intake stops but before the queue closes, so
+// already-parked requests still execute during a graceful shutdown.
+func (e *Executor) enqueueTask(t *task) error {
+	e.drainMu.RLock()
+	defer e.drainMu.RUnlock()
+	if e.poolClosed {
+		return ErrShuttingDown
+	}
+	select {
+	case e.jobs <- t:
+		e.queueDepth.Add(1)
+		return nil
+	default:
+		e.rejected.Inc()
+		return ErrQueueFull
+	}
 }
 
 // Metrics exposes the registry the executor's counters live in.
@@ -184,6 +239,9 @@ func (e *Executor) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse,
 		return EvalResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 
+	// Cache short-circuit happens before any batching: a request whose
+	// digest is already resolved answers immediately instead of re-entering
+	// the coalescer and occupying a batch slot.
 	key := req.cacheKey()
 	if d, ok := e.cache.get(key); ok {
 		e.cacheHits.Inc()
@@ -191,7 +249,6 @@ func (e *Executor) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse,
 		resp.Cached = true
 		return resp, nil
 	}
-	e.cacheMisses.Inc()
 
 	cond := eval.DefaultCondition()
 	if req.Mode == "digital" {
@@ -208,6 +265,10 @@ func (e *Executor) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse,
 		Ch:     scene.Challenges(req.Challenge)[0],
 		Cond:   cond,
 	}
+	if e.evalCo != nil {
+		return e.evaluateBatched(ctx, key, job)
+	}
+	e.cacheMisses.Inc()
 	ctx, cancel := context.WithTimeout(ctx, e.cfg.JobTimeout)
 	defer cancel()
 	v, err := e.submit(ctx, func(det *yolo.Model) (any, error) {
@@ -219,14 +280,78 @@ func (e *Executor) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse,
 		return EvalResponse{}, err
 	}
 	detail := v.(eval.Detail)
-	e.cache.put(key, detail)
+	e.cache.put(key, detail, detailBytes(detail))
 	return detailToResponse(detail), nil
 }
 
-// Detect runs one rendered frame through a worker's detector replica.
+// evaluateBatched parks one cache-missed evaluate request in the coalescer
+// and waits for its flush group's outcome. The span brackets the full
+// park-to-answer window, so traces show what coalescing costs each request.
+func (e *Executor) evaluateBatched(ctx context.Context, key string, job eval.Job) (EvalResponse, error) {
+	sp := e.cfg.Trace.Span("evaluate_batched", obs.S("key", key))
+	call := &evalCall{key: key, job: job, done: make(chan callResult, 1)}
+	if err := park(e, e.evalCo.in, call); err != nil {
+		sp.End(obs.S("outcome", errOutcome(err)))
+		return EvalResponse{}, err
+	}
+	select {
+	case r := <-call.done:
+		if r.err != nil {
+			sp.End(obs.S("outcome", errOutcome(r.err)))
+			return EvalResponse{}, r.err
+		}
+		resp := detailToResponse(r.detail)
+		resp.Cached = r.cached
+		sp.End(obs.S("outcome", "ok"))
+		return resp, nil
+	case <-ctx.Done():
+		sp.End(obs.S("outcome", "ctx"))
+		return EvalResponse{}, ctx.Err()
+	}
+}
+
+// park places a call in a coalescer buffer without blocking, under the same
+// drain discipline as submit: refused once draining starts, queue-full when
+// the buffer is at capacity. Holding the read lock across the send keeps the
+// channel-close in Close safely ordered behind every in-flight send.
+func park[T any](e *Executor, in chan T, call T) error {
+	e.drainMu.RLock()
+	defer e.drainMu.RUnlock()
+	if e.draining {
+		return ErrShuttingDown
+	}
+	select {
+	case in <- call:
+		return nil
+	default:
+		e.rejected.Inc()
+		return ErrQueueFull
+	}
+}
+
+// errOutcome maps executor errors to span outcome labels.
+func errOutcome(err error) string {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutting_down"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "ctx"
+	default:
+		return "error"
+	}
+}
+
+// Detect runs one rendered frame through a worker's detector replica — or,
+// with batching enabled, through the coalescer so concurrent same-resolution
+// frames share a single batched forward.
 func (e *Executor) Detect(ctx context.Context, req DetectRequest) (DetectResponse, error) {
 	if err := req.validate(); err != nil {
 		return DetectResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if e.detectCo != nil {
+		return e.detectBatched(ctx, req)
 	}
 	ctx, cancel := context.WithTimeout(ctx, e.cfg.JobTimeout)
 	defer cancel()
@@ -241,17 +366,53 @@ func (e *Executor) Detect(ctx context.Context, req DetectRequest) (DetectRespons
 	return DetectResponse{Detections: toWireDetections(v.([]yolo.Detection))}, nil
 }
 
-// Close drains the pool: refuse new submissions, close the queue, and wait
-// for the workers to empty it. Idempotent; safe to call from multiple
+// detectBatched parks one detect request in the coalescer and waits for its
+// group's batched forward.
+func (e *Executor) detectBatched(ctx context.Context, req DetectRequest) (DetectResponse, error) {
+	sp := e.cfg.Trace.Span("detect_batched", obs.I("pixels", len(req.Image)))
+	call := &detectCall{req: req, done: make(chan detectResult, 1)}
+	if err := park(e, e.detectCo.in, call); err != nil {
+		sp.End(obs.S("outcome", errOutcome(err)))
+		return DetectResponse{}, err
+	}
+	select {
+	case r := <-call.done:
+		if r.err != nil {
+			sp.End(obs.S("outcome", errOutcome(r.err)))
+			return DetectResponse{}, r.err
+		}
+		sp.End(obs.S("outcome", "ok"))
+		return DetectResponse{Detections: toWireDetections(r.dets)}, nil
+	case <-ctx.Done():
+		sp.End(obs.S("outcome", "ctx"))
+		return DetectResponse{}, ctx.Err()
+	}
+}
+
+// Close drains gracefully: refuse new submissions, let the coalescers flush
+// whatever is parked (those requests still run), then close the queue and
+// wait for the workers to empty it. Idempotent; safe to call from multiple
 // owners.
 func (e *Executor) Close(context.Context) error {
 	e.drainMu.Lock()
 	already := e.draining
 	e.draining = true
-	if !already {
-		close(e.jobs)
-	}
 	e.drainMu.Unlock()
+	if !already {
+		// External intake is now refused; the coalescers' drain flushes may
+		// still enqueue through enqueueTask (gated on poolClosed), so the
+		// jobs channel closes only after both run loops have exited.
+		if e.evalCo != nil {
+			e.evalCo.close()
+		}
+		if e.detectCo != nil {
+			e.detectCo.close()
+		}
+		e.drainMu.Lock()
+		e.poolClosed = true
+		close(e.jobs)
+		e.drainMu.Unlock()
+	}
 	e.wg.Wait()
 	return nil
 }

@@ -45,6 +45,22 @@ type Config struct {
 	// CacheSize is the evaluation result cache capacity in entries;
 	// 0 means 128, negative disables caching.
 	CacheSize int
+	// CacheBytes bounds the result cache by estimated payload bytes, so a
+	// few large batched results can't blow memory even when the entry count
+	// is small; 0 means 64 MiB, negative means entries-only accounting.
+	CacheBytes int64
+	// BatchSize enables micro-batched serving when > 1: concurrent
+	// evaluate/detect requests coalesce in front of the executor and flush
+	// as one batch when BatchSize requests are parked or BatchDeadline has
+	// elapsed since the first. 0 or 1 serves requests one at a time (the
+	// pre-batching behavior).
+	BatchSize int
+	// BatchDeadline is the longest the first parked request waits for its
+	// batch to fill; 0 means 2ms.
+	BatchDeadline time.Duration
+	// Clock injects time for the coalescer deadline (tests); nil means the
+	// wall clock.
+	Clock Clock
 	// JobTimeout is the per-job context deadline; 0 means 2 minutes.
 	JobTimeout time.Duration
 	// Job evaluates one scenario. Nil means eval.RunJob; tests inject
@@ -71,6 +87,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.BatchDeadline <= 0 {
+		c.BatchDeadline = 2 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = WallClock()
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 2 * time.Minute

@@ -71,6 +71,23 @@ func (m *Model) DecodeSample(h Heads, sample int, opts DecodeOptions) []Detectio
 	return NMS(dets, opts)
 }
 
+// DecodeBatch decodes every sample of a batched Heads, returning one
+// detection list per sample in batch order. Decoding only reads the model's
+// anchors and config — no module caches — so samples decode in parallel
+// across the tensor worker pool; result [i] is exactly DecodeSample(h, i,
+// opts) regardless of scheduling.
+func (m *Model) DecodeBatch(h Heads, opts DecodeOptions) [][]Detection {
+	n := h.Coarse.Dim(0)
+	if fn := h.Fine.Dim(0); fn != n {
+		panic("yolo: DecodeBatch head batch mismatch")
+	}
+	out := make([][]Detection, n)
+	tensor.ParallelFor(n, func(i int) {
+		out[i] = m.DecodeSample(h, i, opts)
+	})
+	return out
+}
+
 func (m *Model) decodeHead(raw *tensor.Tensor, sample int, fine bool, opts DecodeOptions) []Detection {
 	l := m.layout(raw, fine)
 	data := raw.Data()

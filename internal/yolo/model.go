@@ -61,55 +61,29 @@ type Model struct {
 	Cfg Config
 
 	// Backbone: conv/BN/leaky + maxpool stages (darknet-style).
-	b1, b2, b3, b4, b5, b6 *convBlock
+	b1, b2, b3, b4, b5, b6 *nn.ConvBNLeaky
 	p1, p2, p3, p4         *nn.MaxPool2D
 	p5                     *nn.MaxPool2D // stride-1 pool, darknet layer 11
 
 	// Coarse head (stride 16).
-	neck   *convBlock // 1×1 bottleneck, route source
-	h1pre  *convBlock
+	neck   *nn.ConvBNLeaky // 1×1 bottleneck, route source
+	h1pre  *nn.ConvBNLeaky
 	h1conv *nn.Conv2D
 
 	// Fine head (stride 8) via route + upsample + concat.
-	lat    *convBlock // 1×1 lateral on the neck
+	lat    *nn.ConvBNLeaky // 1×1 lateral on the neck
 	up     *nn.Upsample2D
-	h2pre  *convBlock
+	h2pre  *nn.ConvBNLeaky
 	h2conv *nn.Conv2D
 
 	// Cached shapes for Backward through the concat.
 	lastRouteACh int
 }
 
-// convBlock is conv + BN + leaky ReLU, darknet's standard unit.
-type convBlock struct {
-	conv *nn.Conv2D
-	bn   *nn.BatchNorm2D
-	act  *nn.LeakyReLU
-}
-
-func newConvBlock(rng *rand.Rand, name string, in, out, k, stride, pad int) *convBlock {
-	return &convBlock{
-		conv: nn.NewConv2D(rng, name, in, out, k, stride, pad, false),
-		bn:   nn.NewBatchNorm2D(name+".bn", out),
-		act:  nn.NewLeakyReLU(0.1),
-	}
-}
-
-func (cb *convBlock) forward(x *tensor.Tensor) *tensor.Tensor {
-	return cb.act.Forward(cb.bn.Forward(cb.conv.Forward(x)))
-}
-
-func (cb *convBlock) backward(d *tensor.Tensor) *tensor.Tensor {
-	return cb.conv.Backward(cb.bn.Backward(cb.act.Backward(d)))
-}
-
-func (cb *convBlock) params() []*nn.Param {
-	ps := cb.conv.Params()
-	return append(ps, cb.bn.Params()...)
-}
-
-func (cb *convBlock) clone() *convBlock {
-	return &convBlock{conv: cb.conv.Clone(), bn: cb.bn.Clone(), act: cb.act.Clone()}
+// newConvBlock is darknet's standard unit: conv + BN + leaky(0.1), as the
+// fusable nn.ConvBNLeaky module (fusing starts off; see Model.SetFused).
+func newConvBlock(rng *rand.Rand, name string, in, out, k, stride, pad int) *nn.ConvBNLeaky {
+	return nn.NewConvBNLeaky(rng, name, in, out, k, stride, pad, 0.1)
 }
 
 // New builds a randomly initialized detector.
@@ -156,15 +130,15 @@ func New(rng *rand.Rand, cfg Config) *Model {
 // pool builds them.
 func (m *Model) Clone() *Model {
 	c := &Model{Cfg: m.Cfg, lastRouteACh: m.lastRouteACh}
-	c.b1, c.b2, c.b3 = m.b1.clone(), m.b2.clone(), m.b3.clone()
-	c.b4, c.b5, c.b6 = m.b4.clone(), m.b5.clone(), m.b6.clone()
+	c.b1, c.b2, c.b3 = m.b1.Clone(), m.b2.Clone(), m.b3.Clone()
+	c.b4, c.b5, c.b6 = m.b4.Clone(), m.b5.Clone(), m.b6.Clone()
 	c.p1, c.p2 = m.p1.Clone(), m.p2.Clone()
 	c.p3, c.p4, c.p5 = m.p3.Clone(), m.p4.Clone(), m.p5.Clone()
-	c.neck, c.h1pre = m.neck.clone(), m.h1pre.clone()
+	c.neck, c.h1pre = m.neck.Clone(), m.h1pre.Clone()
 	c.h1conv = m.h1conv.Clone()
-	c.lat = m.lat.clone()
+	c.lat = m.lat.Clone()
 	c.up = m.up.Clone()
-	c.h2pre = m.h2pre.clone()
+	c.h2pre = m.h2pre.Clone()
 	c.h2conv = m.h2conv.Clone()
 	return c
 }
@@ -178,20 +152,20 @@ type Heads struct {
 
 // Forward runs the network on an NCHW batch in [0,1].
 func (m *Model) Forward(x *tensor.Tensor) Heads {
-	t := m.p1.Forward(m.b1.forward(x))
-	t = m.p2.Forward(m.b2.forward(t))
-	t = m.p3.Forward(m.b3.forward(t))
-	routeA := m.b4.forward(t)
+	t := m.p1.Forward(m.b1.Forward(x))
+	t = m.p2.Forward(m.b2.Forward(t))
+	t = m.p3.Forward(m.b3.Forward(t))
+	routeA := m.b4.Forward(t)
 	t = m.p4.Forward(routeA)
-	t = m.p5.Forward(m.b5.forward(t))
-	t = m.b6.forward(t)
-	routeB := m.neck.forward(t)
+	t = m.p5.Forward(m.b5.Forward(t))
+	t = m.b6.Forward(t)
+	routeB := m.neck.Forward(t)
 
-	coarse := m.h1conv.Forward(m.h1pre.forward(routeB))
+	coarse := m.h1conv.Forward(m.h1pre.Forward(routeB))
 
-	lat := m.up.Forward(m.lat.forward(routeB))
+	lat := m.up.Forward(m.lat.Forward(routeB))
 	cat := tensor.Concat(1, lat, routeA)
-	fine := m.h2conv.Forward(m.h2pre.forward(cat))
+	fine := m.h2conv.Forward(m.h2pre.Forward(cat))
 	return Heads{Coarse: coarse, Fine: fine}
 }
 
@@ -201,14 +175,14 @@ func (m *Model) Backward(d Heads) *tensor.Tensor {
 	var dRouteB, dRouteA *tensor.Tensor
 
 	if d.Fine != nil {
-		dCat := m.h2pre.backward(m.h2conv.Backward(d.Fine))
+		dCat := m.h2pre.Backward(m.h2conv.Backward(d.Fine))
 		latCh := dCat.Dim(1) - m.lastRouteACh
 		parts := tensor.SplitDim(dCat, 1, latCh, m.lastRouteACh)
-		dRouteB = m.lat.backward(m.up.Backward(parts[0]))
+		dRouteB = m.lat.Backward(m.up.Backward(parts[0]))
 		dRouteA = parts[1]
 	}
 	if d.Coarse != nil {
-		dB := m.h1pre.backward(m.h1conv.Backward(d.Coarse))
+		dB := m.h1pre.Backward(m.h1conv.Backward(d.Coarse))
 		if dRouteB == nil {
 			dRouteB = dB
 		} else {
@@ -218,38 +192,50 @@ func (m *Model) Backward(d Heads) *tensor.Tensor {
 	if dRouteB == nil {
 		panic("yolo: Backward with no head gradients")
 	}
-	dt := m.neck.backward(dRouteB)
-	dt = m.b6.backward(dt)
-	dt = m.b5.backward(m.p5.Backward(dt))
+	dt := m.neck.Backward(dRouteB)
+	dt = m.b6.Backward(dt)
+	dt = m.b5.Backward(m.p5.Backward(dt))
 	dt = m.p4.Backward(dt)
 	if dRouteA != nil {
 		dt.AddInPlace(dRouteA)
 	}
-	dt = m.b4.backward(dt)
-	dt = m.b3.backward(m.p3.Backward(dt))
-	dt = m.b2.backward(m.p2.Backward(dt))
-	return m.b1.backward(m.p1.Backward(dt))
+	dt = m.b4.Backward(dt)
+	dt = m.b3.Backward(m.p3.Backward(dt))
+	dt = m.b2.Backward(m.p2.Backward(dt))
+	return m.b1.Backward(m.p1.Backward(dt))
 }
 
 // Params returns every learnable parameter.
 func (m *Model) Params() []*nn.Param {
 	var ps []*nn.Param
 	for _, cb := range m.blocks() {
-		ps = append(ps, cb.params()...)
+		ps = append(ps, cb.Params()...)
 	}
 	ps = append(ps, m.h1conv.Params()...)
 	ps = append(ps, m.h2conv.Params()...)
 	return ps
 }
 
-func (m *Model) blocks() []*convBlock {
-	return []*convBlock{m.b1, m.b2, m.b3, m.b4, m.b5, m.b6, m.neck, m.h1pre, m.lat, m.h2pre}
+func (m *Model) blocks() []*nn.ConvBNLeaky {
+	return []*nn.ConvBNLeaky{m.b1, m.b2, m.b3, m.b4, m.b5, m.b6, m.neck, m.h1pre, m.lat, m.h2pre}
 }
 
 // SetTraining toggles batch-norm mode.
 func (m *Model) SetTraining(training bool) {
 	for _, cb := range m.blocks() {
-		cb.bn.SetTraining(training)
+		cb.SetTraining(training)
+	}
+}
+
+// SetFused toggles the eval-time fused conv+BN+leaky kernels on every conv
+// block (the two head convolutions carry their own bias and are unaffected).
+// Fusing is inference-only: Backward through a fused Forward panics, so
+// training paths (including the attack trainer's eval-mode backprop) leave
+// it off. The exact-parity kernels keep fused output bit-identical to the
+// unfused chain; serving enables this on its worker replicas.
+func (m *Model) SetFused(on bool) {
+	for _, cb := range m.blocks() {
+		cb.SetFused(on)
 	}
 }
 
@@ -257,8 +243,8 @@ func (m *Model) SetTraining(training bool) {
 func (m *Model) State() nn.State {
 	s := nn.CollectState(m.Params())
 	for _, cb := range m.blocks() {
-		s[cb.bn.Gamma.Name+".rmean"] = cb.bn.RunningMean
-		s[cb.bn.Gamma.Name+".rvar"] = cb.bn.RunningVar
+		s[cb.BN.Gamma.Name+".rmean"] = cb.BN.RunningMean
+		s[cb.BN.Gamma.Name+".rvar"] = cb.BN.RunningVar
 	}
 	return s
 }
@@ -269,8 +255,8 @@ func (m *Model) LoadState(s nn.State) error {
 		return fmt.Errorf("yolo: %w", err)
 	}
 	for _, cb := range m.blocks() {
-		for suffix, dst := range map[string]*tensor.Tensor{".rmean": cb.bn.RunningMean, ".rvar": cb.bn.RunningVar} {
-			name := cb.bn.Gamma.Name + suffix
+		for suffix, dst := range map[string]*tensor.Tensor{".rmean": cb.BN.RunningMean, ".rvar": cb.BN.RunningVar} {
+			name := cb.BN.Gamma.Name + suffix
 			t, ok := s[name]
 			if !ok {
 				return fmt.Errorf("yolo: %w: missing buffer %q", nn.ErrBadWeights, name)

@@ -65,4 +65,11 @@ echo "== benchperf smoke"
 mkdir -p out
 go run ./cmd/benchperf -smoke -out out/bench_smoke.json
 
+# Serving gate: micro-batched throughput must stay >= 2x the single-request
+# path on the duplicate-heavy burst workload, and must not regress more than
+# the tolerance against the committed BENCH_serve.json. Writes a scratch
+# artifact; the committed file only changes via `make bench-serve`.
+echo "== benchperf serve smoke"
+go run ./cmd/benchperf -serve -smoke -prev BENCH_serve.json -out out/bench_serve_smoke.json
+
 echo "== checks passed"
