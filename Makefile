@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the tier-1 verify path:
 # gofmt + build + vet + rtlint + race-enabled tests (scripts/check.sh).
 
-.PHONY: check build vet lint test race chaos bench bench-serve bench-tables serve report
+.PHONY: check build vet lint test race chaos trace bench bench-serve bench-tables serve report
 
 check:
 	./scripts/check.sh
@@ -31,6 +31,15 @@ race:
 # tests, so every run sees the same fault schedule; always race-enabled.
 chaos:
 	go test -race -count 1 -run 'TestChaos' ./internal/chaos ./internal/fabric
+
+# Distributed-tracing golden gate: the committed tracetool fixture (three
+# journals merging byte-for-byte into testdata/merged.golden) plus the
+# live gateway+3-node cross-process trace tests. Regenerate the fixture
+# after an intentional format change with:
+#   go test ./cmd/tracetool -run Golden -update
+trace:
+	go test -race -count 1 ./cmd/tracetool
+	go test -race -count 1 -run 'TestTrace' ./internal/fabric
 
 # Measure the tensor hot path against the preserved reference kernels and
 # refresh the committed perf record (see DESIGN.md "Performance"). Run on a

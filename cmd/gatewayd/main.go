@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"roadtrojan/internal/fabric"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/telemetry"
 )
 
@@ -51,6 +52,8 @@ func run() error {
 		brkThresh = flag.Int("breaker-threshold", 3, "consecutive transport failures that open a backend's circuit breaker")
 		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker wait before a half-open probe")
 		walPath   = flag.String("wal", "", "async-job journal path; replayed on restart (empty = no durability)")
+		journal   = flag.String("journal", "", "write a JSONL trace journal here (merge across processes with cmd/tracetool)")
+		traceProc = flag.String("trace-proc", "gw", "process name stamped on this gateway's trace spans")
 	)
 	flag.Parse()
 
@@ -73,6 +76,20 @@ func run() error {
 		}
 	}
 
+	// Tracing: the gateway is usually the trace root, so its logical clock
+	// becomes the global frame cmd/tracetool aligns node journals onto.
+	var tr *obs.Trace
+	if *journal != "" {
+		j, err := obs.OpenJournal(*journal)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		defer j.Close()
+		tr = obs.New(j, obs.NewLogicalClock())
+		tr.SetProcess(*traceProc)
+		fmt.Printf("gatewayd: tracing to %s as process %q\n", *journal, *traceProc)
+	}
+
 	g := fabric.NewGateway(fabric.GatewayConfig{
 		Nodes:            fleet,
 		MaxAttempts:      *attempts,
@@ -84,6 +101,7 @@ func run() error {
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCool,
 		WAL:              wal,
+		Trace:            tr,
 	})
 	g.Metrics().Gauge("roadtrojan_build_info", "build identity of this gatewayd process",
 		telemetry.Labels{"go_version": runtime.Version(), "module": "roadtrojan"}).Set(1)

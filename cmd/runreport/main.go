@@ -55,9 +55,15 @@ func render(path string, w io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	recs, err := obs.ReadJournal(f)
+	// Lenient read: a journal whose writer was killed mid-line (crash, disk
+	// full) still renders — the torn trailing line is dropped with a warning
+	// instead of failing the whole report.
+	recs, warning, err := obs.ReadJournalLenient(f)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
+	}
+	if warning != "" {
+		fmt.Fprintf(os.Stderr, "runreport: %s: %s\n", path, warning)
 	}
 	obs.BuildReport(recs).Render(w)
 	return nil

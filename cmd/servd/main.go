@@ -20,6 +20,7 @@ import (
 	"roadtrojan"
 
 	"roadtrojan/internal/fabric"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/serve"
 	"roadtrojan/internal/telemetry"
 )
@@ -46,6 +47,7 @@ func run() error {
 		timeout    = flag.Duration("timeout", 2*time.Minute, "per-job deadline")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof (off by default: the profiler leaks operational detail, enable only on trusted networks)")
+		journal    = flag.String("journal", "", "write a JSONL trace journal here (merge across processes with cmd/tracetool)")
 	)
 	flag.Parse()
 
@@ -54,10 +56,29 @@ func run() error {
 		return fmt.Errorf("load detector: %w (train one first: go run ./cmd/trainyolo -out %s)", err, *weights)
 	}
 
+	// Tracing: spans journal under the node's identity so cmd/tracetool can
+	// merge this process's journal with the gateway's into one causal tree.
+	// The logical clock makes journal bytes a function of event order alone.
+	var tr *obs.Trace
+	if *journal != "" {
+		j, err := obs.OpenJournal(*journal)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		defer j.Close()
+		tr = obs.New(j, obs.NewLogicalClock())
+		proc := *nodeID
+		if proc == "" {
+			proc = "servd"
+		}
+		tr.SetProcess(proc)
+		fmt.Printf("servd: tracing to %s as process %q\n", *journal, proc)
+	}
+
 	cfg := serve.Config{
 		Workers: *workers, QueueSize: *queue, CacheSize: *cache, CacheBytes: *cacheBytes,
 		BatchSize: *batchSize, BatchDeadline: *batchWait, JobTimeout: *timeout,
-		EnablePprof: *pprofOn,
+		EnablePprof: *pprofOn, Trace: tr,
 	}
 	// One executor (worker pool + cache) behind both transports: the HTTP
 	// server and, when -fabric is set, the framed node protocol.
@@ -89,7 +110,7 @@ func run() error {
 
 	var node *fabric.Node
 	if *fabricAddr != "" {
-		node = fabric.NewNode(exec, fabric.NodeConfig{ID: *nodeID})
+		node = fabric.NewNode(exec, fabric.NodeConfig{ID: *nodeID, Trace: tr})
 		listeners++
 		go func() { errc <- node.Listen(*fabricAddr) }()
 		fmt.Printf("servd: fabric node listening on %s\n", *fabricAddr)

@@ -67,7 +67,7 @@ func TestCorpus(t *testing.T) {
 		dirs  []string
 	}{
 		{"sharedforward", []string{"sharedforward/src"}},
-		{"globalrand", []string{"globalrand/det", "globalrand/allowed", "globalrand/obsdet", "globalrand/fabricnet", "globalrand/chaosprng"}},
+		{"globalrand", []string{"globalrand/det", "globalrand/allowed", "globalrand/obsdet", "globalrand/fabricnet", "globalrand/chaosprng", "globalrand/tracectx"}},
 		{"floateq", []string{"floateq/src"}},
 		{"panicpolicy", []string{"panicpolicy/src"}},
 		{"gradcoverage", []string{"gradcoverage/src"}},

@@ -1,0 +1,49 @@
+// Package eval exercises cross-process trace plumbing inside a
+// deterministic package. The sanctioned pattern is to derive every span
+// context from the trace's injected clock — Span.Context() stamps the tick
+// internally, so code that only captures, encodes, and parses contexts
+// never reads the wall clock. Stamping a context (or a stage duration) with
+// time.Now directly defeats byte-identical journals and is flagged.
+package eval
+
+import (
+	"time"
+
+	"roadtrojan/internal/obs"
+)
+
+// Propagate captures the span's context for a remote callee. The tick comes
+// from the trace's injected clock inside Context(); nothing here touches
+// wall time, so a deterministic package may do this freely.
+func Propagate(sp *obs.Span) string {
+	return sp.Context().Encode()
+}
+
+// Join opens a span under a received wire context — again purely
+// clock-injected, no finding.
+func Join(tr *obs.Trace, wire string) *obs.Span {
+	sc, ok := obs.ParseSpanContext(wire)
+	if !ok {
+		sc = obs.SpanContext{}
+	}
+	return tr.SpanInContext(sc, "fabric_job")
+}
+
+// HandStamped builds a context by reading the wall clock for the tick —
+// exactly the bug the injected clock exists to prevent: two runs of the
+// same workload would journal different ticks and the merged trace would
+// no longer be byte-stable.
+func HandStamped(sp *obs.Span) obs.SpanContext {
+	sc := sp.Context()
+	sc.Tick = time.Now().UnixNano() // want "globalrand"
+	return sc
+}
+
+// StageTimer measures a stage with the wall clock inside deterministic
+// code; stage timing belongs in the serve layer (allowlisted), not here.
+func StageTimer() func() time.Duration {
+	start := time.Now() // want "globalrand"
+	return func() time.Duration {
+		return time.Since(start) // want "globalrand"
+	}
+}

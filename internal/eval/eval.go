@@ -39,15 +39,49 @@ func Digital() Condition {
 	return c
 }
 
+// StageHook observes stage timing from outside this package: calling it
+// marks the start of one stage, calling the returned func marks the end.
+// The serving layer binds it to wall-clock histograms — the clock read
+// stays in serve (on rtlint's allowlist) so eval itself never touches
+// time.Now and stays bit-deterministic. A nil StageHook costs nothing.
+type StageHook func(stage string) func()
+
+// stageDone is the shared no-op end for a nil hook.
+var stageDone = func() {}
+
+// start is the nil-safe entry point.
+func (h StageHook) start(stage string) func() {
+	if h == nil {
+		return stageDone
+	}
+	return h(stage)
+}
+
+// Stage names passed to StageHook.
+const (
+	StageForward = "forward"
+	StageDecode  = "decode"
+)
+
 // FrameResults classifies the target in every frame, returning the per-frame
 // verdicts ScoreVideo aggregates. The detector must not be shared with other
 // goroutines while this runs (see the internal/nn package comment).
 func FrameResults(det *yolo.Model, frames []scene.VideoFrame, ch physical.Channel,
 	rng *rand.Rand, matchIoU float64) []metrics.FrameResult {
+	return FrameResultsTraced(nil, nil, det, frames, ch, rng, matchIoU)
+}
+
+// FrameResultsTraced is FrameResults with per-replica stage observability:
+// each frame's forward pass and decode open child spans of sp (the causal
+// tree's leaf spans) and tick the hook (the stage histograms). Both sp and
+// hook may be nil; with both nil this is exactly FrameResults, emitting
+// nothing.
+func FrameResultsTraced(sp *obs.Span, hook StageHook, det *yolo.Model, frames []scene.VideoFrame,
+	ch physical.Channel, rng *rand.Rand, matchIoU float64) []metrics.FrameResult {
 
 	results := make([]metrics.FrameResult, 0, len(frames))
 	opts := yolo.DefaultDecode()
-	for _, f := range frames {
+	for i, f := range frames {
 		img := f.Image
 		if ch.Enabled {
 			img = ch.Capture.Apply(rng, img)
@@ -57,8 +91,16 @@ func FrameResults(det *yolo.Model, frames []scene.VideoFrame, ch physical.Channe
 			continue
 		}
 		batch := img.Reshape(1, 3, img.Dim(1), img.Dim(2))
+		fsp := sp.Child(StageForward, obs.I("frame", i))
+		end := hook.start(StageForward)
 		heads := det.Forward(batch)
+		end()
+		fsp.End()
+		dsp := sp.Child(StageDecode, obs.I("frame", i))
+		end = hook.start(StageDecode)
 		dets := det.DecodeSample(heads, 0, opts)
+		end()
+		dsp.End()
 		d, ok := yolo.MatchTarget(dets, f.TargetBox, matchIoU)
 		if !ok {
 			results = append(results, metrics.FrameResult{})
@@ -89,6 +131,15 @@ type Job struct {
 	// Trace receives per-run eval records (nil = no tracing). It is not
 	// part of the job's cache identity: tracing never changes results.
 	Trace *obs.Trace
+	// Parent, when non-nil, parents this job's eval span so node-side eval
+	// work joins the request's cross-process causal tree; it also switches
+	// RunJob into traced mode, emitting per-run spans with per-frame
+	// forward/decode leaves. Like Trace, never part of cache identity.
+	Parent *obs.Span
+	// Stages observes stage durations (forward/decode). The serving layer
+	// binds it to wall-clock histograms; nil costs nothing. Not part of
+	// cache identity.
+	Stages StageHook
 }
 
 // Detail is a scenario's aggregate score plus each run's per-frame results
@@ -109,9 +160,19 @@ type JobFunc func(Job) (Detail, error)
 // them.
 func RunJob(j Job) (Detail, error) {
 	j.Det.SetTraining(false)
-	sp := j.Trace.Span("eval",
-		obs.S("challenge", j.Ch.Name), obs.I("runs", j.Cond.Runs), obs.I64("seed", j.Cond.Seed))
+	evalAttrs := []obs.Attr{
+		obs.S("challenge", j.Ch.Name), obs.I("runs", j.Cond.Runs), obs.I64("seed", j.Cond.Seed)}
+	var sp *obs.Span
+	if j.Parent.Enabled() {
+		sp = j.Parent.Child("eval", evalAttrs...)
+	} else {
+		sp = j.Trace.Span("eval", evalAttrs...)
+	}
 	defer sp.End()
+	// Per-frame stage spans only appear on the traced serving path (Parent
+	// set) or when a hook wants timings: the legacy Trace-only path keeps
+	// its exact historical journal bytes (the golden journals pin them).
+	traced := j.Parent.Enabled() || j.Stages != nil
 	d := Detail{Runs: make([][]metrics.FrameResult, 0, j.Cond.Runs)}
 	var scores []metrics.Score
 	for run := 0; run < j.Cond.Runs; run++ {
@@ -129,7 +190,14 @@ func RunJob(j Job) (Detail, error) {
 		if err != nil {
 			return Detail{}, fmt.Errorf("eval: render: %w", err)
 		}
-		results := FrameResults(j.Det, frames, j.Cond.Channel, rng, j.Cond.MatchIoU)
+		var results []metrics.FrameResult
+		if traced {
+			rsp := sp.Child("run", obs.I("run", run), obs.I("frames", len(frames)))
+			results = FrameResultsTraced(rsp, j.Stages, j.Det, frames, j.Cond.Channel, rng, j.Cond.MatchIoU)
+			rsp.End()
+		} else {
+			results = FrameResults(j.Det, frames, j.Cond.Channel, rng, j.Cond.MatchIoU)
+		}
 		d.Runs = append(d.Runs, results)
 		s := metrics.Evaluate(results, j.Target)
 		scores = append(scores, s)

@@ -43,6 +43,7 @@ type backend struct {
 	draining bool // node announced Drain
 	removed  bool // RemoveNode called: stop redialing
 	health   Health
+	stats    map[string]telemetry.HistSnapshot // latest FrameStats payload
 	lastSeen time.Time
 
 	removedCh chan struct{} // closed on remove, wakes the redial wait
@@ -257,8 +258,25 @@ func (b *backend) readLoop(conn net.Conn) {
 			b.deliver(f.JobID, jobReply{jerr: &je})
 		case FrameDrain:
 			b.markDraining()
+		case FrameStats:
+			var sp StatsPayload
+			if err := json.Unmarshal(f.Payload, &sp); err != nil {
+				b.g.decodeErrors.Inc()
+				continue
+			}
+			b.mu.Lock()
+			b.stats = sp.Stages
+			b.mu.Unlock()
 		}
 	}
+}
+
+// stageStats returns the node's last pushed stage snapshots (nil before the
+// first Stats frame).
+func (b *backend) stageStats() map[string]telemetry.HistSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
 }
 
 // markDraining takes the node out of routing; the gateway keeps the
@@ -326,19 +344,25 @@ func (b *backend) remove() {
 }
 
 // roundTrip sends one job and blocks for its reply. When ctx carries a
-// deadline the remaining budget rides along in a JobPayload envelope, so
-// the node can cancel work the gateway has already abandoned.
-func (b *backend) roundTrip(ctx context.Context, req serve.EvalRequest) ([]byte, error) {
+// deadline, or trace carries an encoded obs.SpanContext, they ride along in
+// a JobPayload envelope — the remaining budget lets the node cancel work the
+// gateway has abandoned, and the trace context parents the node's fabric_job
+// span under the gateway's attempt span. Bare requests still go out when
+// neither is present, exercising the compatibility path.
+func (b *backend) roundTrip(ctx context.Context, req serve.EvalRequest, trace string) ([]byte, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: encode job: %v", serve.ErrBadRequest, err)
 	}
+	var ms int64
 	if dl, ok := ctx.Deadline(); ok {
-		ms := time.Until(dl).Milliseconds()
+		ms = time.Until(dl).Milliseconds()
 		if ms < 1 {
 			ms = 1 // expired budgets still travel: the node rejects instantly
 		}
-		payload, err = json.Marshal(JobPayload{TimeoutMs: ms, Req: payload})
+	}
+	if ms > 0 || trace != "" {
+		payload, err = json.Marshal(JobPayload{TimeoutMs: ms, Trace: trace, Req: payload})
 		if err != nil {
 			return nil, fmt.Errorf("%w: encode job envelope: %v", serve.ErrBadRequest, err)
 		}

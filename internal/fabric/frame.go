@@ -29,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"roadtrojan/internal/telemetry"
 )
 
 // ProtocolVersion is the fabric wire-format version. Both ends refuse
@@ -64,10 +66,18 @@ const (
 	// FrameDrain announces the node is leaving: no new jobs will be
 	// accepted, in-flight jobs will still complete.
 	FrameDrain
+	// FrameStats is the node's periodic telemetry push: a StatsPayload of
+	// stage-histogram snapshots, from which the gateway aggregates its
+	// fleet-wide /metrics view. Additive frame types like this one stay
+	// within ProtocolVersion 1: receivers ignore valid-but-unhandled types
+	// (see handleConn/readLoop), so a new frame only requires upgrading the
+	// end that wants to consume it. Older binaries' strict decoders reject
+	// type 8 outright, so a mixed fleet must upgrade receivers first.
+	FrameStats
 )
 
 // frameTypeValid reports whether t is a known frame type.
-func frameTypeValid(t uint8) bool { return t >= FrameHello && t <= FrameDrain }
+func frameTypeValid(t uint8) bool { return t >= FrameHello && t <= FrameStats }
 
 // ErrBadFrame is the strict-decode failure: anything on the wire that is
 // not a well-formed current-version frame.
@@ -151,8 +161,21 @@ type JobPayload struct {
 	// TimeoutMs is the remaining job budget in milliseconds; 0 means no
 	// deadline.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Trace is an encoded obs.SpanContext: the gateway's attempt span, so
+	// the node's fabric_job span joins the request's causal tree. Optional
+	// and ignored by pre-tracing nodes (unknown JSON keys are skipped);
+	// bare-request payloads simply carry no context.
+	Trace string `json:"trace,omitempty"`
 	// Req is the serve.EvalRequest JSON.
 	Req json.RawMessage `json:"req"`
+}
+
+// StatsPayload is the FrameStats payload: one node's stage-histogram
+// snapshots (serve.StageNames keys), which the gateway merges into its
+// fleet-wide stage view.
+type StatsPayload struct {
+	ID     string                            `json:"id"`
+	Stages map[string]telemetry.HistSnapshot `json:"stages"`
 }
 
 // Health is the Hello/Health frame payload: one node's identity and

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -147,6 +148,7 @@ type Gateway struct {
 	saturated    *telemetry.Counter
 	decodeErrors *telemetry.Counter
 	walErrors    *telemetry.Counter
+	dispatchHist *telemetry.Histogram
 }
 
 // NewGateway builds the front-end and starts dialing the configured nodes.
@@ -169,6 +171,8 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		decodeErrors: reg.Counter("fabric_gateway_frame_decode_errors_total", "malformed frames received from nodes", nil),
 		walErrors:    reg.Counter("fabric_gateway_wal_errors_total", "failed WAL appends (jobs proceed, durability degraded)", nil),
 	}
+	g.dispatchHist = reg.Histogram("fabric_gateway_stage_seconds", "gateway-side stage latency (exemplars carry trace ids)",
+		telemetry.Labels{"stage": "dispatch"}, nil)
 	reg.GaugeFunc("fabric_gateway_ring_nodes", "physical nodes on the hash ring", nil,
 		func() float64 { return float64(g.ring.Len()) })
 	reg.GaugeFunc("fabric_gateway_backends_available", "backends currently routable", nil,
@@ -262,8 +266,25 @@ func (g *Gateway) backendUp(addr string, up bool) {
 // immediate failover across the ring on node failure, bounded backoff
 // between full passes, and a saturation verdict when every routable shard
 // is queue-full.
-func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, error) {
+//
+// Tracing: a "dispatch" span (child of the request span riding ctx, or a
+// fresh root) covers the whole routing decision, with one "attempt" child
+// per node tried. The attempt span's context travels to the node in the job
+// envelope, so in the merged tree exactly the winning attempt carries the
+// node's fabric_job subtree while failed attempts sit beside it as siblings
+// recording their outcome.
+func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) (payload []byte, err error) {
 	key := req.Digest()
+	dsp := g.spanUnder(ctx, "dispatch", obs.S("key", key))
+	outcome := "error"
+	start := g.clock.Now()
+	defer func() {
+		if err == nil {
+			outcome = "ok"
+		}
+		dsp.End(obs.S("outcome", outcome))
+		g.dispatchHist.ObserveExemplar(g.clock.Now().Sub(start).Seconds(), dsp.TraceID())
+	}()
 	backoff := g.cfg.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
@@ -272,8 +293,10 @@ func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, 
 			select {
 			case <-g.clock.After(backoff):
 			case <-ctx.Done():
+				outcome = "canceled"
 				return nil, ctx.Err()
 			case <-g.closed:
+				outcome = "gateway_closed"
 				return nil, ErrGatewayClosed
 			}
 			backoff *= 2
@@ -292,11 +315,13 @@ func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, 
 			if g.cfg.AttemptTimeout > 0 {
 				attemptCtx, cancel = context.WithTimeout(ctx, g.cfg.AttemptTimeout)
 			}
-			payload, err := b.roundTrip(attemptCtx, req)
+			asp := dsp.Child("attempt", obs.S("node", addr), obs.I("pass", attempt))
+			payload, err := b.roundTrip(attemptCtx, req, asp.Context().Encode())
 			if cancel != nil {
 				cancel()
 			}
 			if err == nil {
+				asp.End(obs.S("outcome", "ok"))
 				g.reg.Counter("fabric_gateway_node_jobs_total", "jobs completed per backend",
 					telemetry.Labels{"node": addr}).Inc()
 				return payload, nil
@@ -304,8 +329,10 @@ func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, 
 			var jf *jobFailedError
 			switch {
 			case errors.Is(err, errBackendDown):
+				asp.End(obs.S("outcome", "backend_down"))
 				sawDown, lastErr = true, err
 			case errors.As(err, &jf):
+				asp.End(obs.S("outcome", jf.code))
 				switch jf.code {
 				case CodeQueueFull:
 					sawSaturated, lastErr = true, err
@@ -317,22 +344,28 @@ func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, 
 					// deadline; with job budget left the gateway fails over.
 					sawDown, lastErr = true, err
 				case CodeBadRequest:
+					outcome = CodeBadRequest
 					return nil, fmt.Errorf("%w: %s", serve.ErrBadRequest, jf.msg)
 				default:
 					// The job ran and failed; it is deterministic, so
 					// another node would fail identically.
+					outcome = "job_failed"
 					return nil, jf
 				}
 			case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
 				// This attempt's budget expired, not the job's: the backend
 				// is hung, so treat it as down and fail over.
+				asp.End(obs.S("outcome", "attempt_timeout"))
 				sawDown, lastErr = true, err
 			default:
+				asp.End(obs.S("outcome", "canceled"))
+				outcome = "canceled"
 				return nil, err // job-level cancellation/deadline
 			}
 		}
 		if sawSaturated && !sawDown {
 			g.saturated.Inc()
+			outcome = "saturated"
 			return nil, &errSaturated{retryAfter: retryAfter}
 		}
 		if len(seq) == 0 {
@@ -342,7 +375,17 @@ func (g *Gateway) dispatch(ctx context.Context, req serve.EvalRequest) ([]byte, 
 	if lastErr == nil {
 		lastErr = ErrNoBackends
 	}
+	outcome = "exhausted"
 	return nil, fmt.Errorf("fabric: job failed after %d attempts: %w", g.cfg.MaxAttempts, lastErr)
+}
+
+// spanUnder opens a span as a child of the span riding ctx, or as a root on
+// the gateway trace when the request was not traced.
+func (g *Gateway) spanUnder(ctx context.Context, name string, attrs ...obs.Attr) *obs.Span {
+	if parent := obs.SpanFromContext(ctx); parent.Enabled() {
+		return parent.Child(name, attrs...)
+	}
+	return g.cfg.Trace.Span(name, attrs...)
 }
 
 // Close shuts the gateway down: backends close, async jobs get until ctx
@@ -446,7 +489,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.Handle("POST /v1/jobs", g.instrument("jobs_submit", g.handleSubmit))
 	mux.Handle("GET /v1/jobs/{id}", g.instrument("jobs_poll", g.handlePoll))
 	mux.Handle("/healthz", g.instrument("healthz", g.handleHealthz))
-	mux.Handle("/metrics", g.reg.Handler())
+	mux.Handle("/metrics", http.HandlerFunc(g.handleMetrics))
 	return mux
 }
 
@@ -455,7 +498,14 @@ func (g *Gateway) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		telemetry.Labels{"endpoint": endpoint}, nil)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sp := g.cfg.Trace.Span("gateway_request", obs.S("endpoint", endpoint), obs.S("method", r.Method))
+		// An inbound trace context (an upstream caller's span) makes this
+		// request span a child in its tree; otherwise a fresh trace is
+		// minted here and the gateway is the root.
+		sc, _ := obs.ParseSpanContext(r.Header.Get(obs.TraceHeader))
+		sp := g.cfg.Trace.SpanInContext(sc, "gateway_request", obs.S("endpoint", endpoint), obs.S("method", r.Method))
+		if sp != nil {
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		sp.End(obs.I("code", sw.code))
@@ -729,7 +779,10 @@ func (g *Gateway) handlePoll(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobStatusResponse{ID: id, Status: status, Result: result, Error: errMsg})
 }
 
-// handleHealthz reports the fleet as the gateway sees it.
+// handleHealthz reports the fleet as the gateway sees it. A shut-down
+// gateway (or one with an empty ring — nothing routable) answers 503 so
+// load balancers stop sending it traffic; the body still carries the full
+// per-node picture for operators.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	now := g.clock.Now()
 	nodes := map[string]any{}
@@ -745,9 +798,67 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			"lastSeenMs": now.Sub(lastSeen).Milliseconds(),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
+	status, code, draining := "ok", http.StatusOK, false
+	select {
+	case <-g.closed:
+		status, code, draining = "draining", http.StatusServiceUnavailable, true
+	default:
+		if g.ring.Len() == 0 {
+			status, code = "no_backends", http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, map[string]any{
+		"status":     status,
+		"draining":   draining,
 		"ring_nodes": g.ring.Len(),
 		"nodes":      nodes,
 	})
+}
+
+// handleMetrics serves the gateway registry plus the fleet-aggregated stage
+// histograms: each node pushes its stage snapshots over Stats frames, and
+// the gateway merges them (bucket-wise sums, latest exemplar wins) into one
+// fabric_fleet_stage_seconds family labelled by stage. Exemplar trace ids
+// survive the merge, so a high fleet bucket links straight to a traceable
+// request.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = g.reg.WriteText(w)
+	fleet := g.fleetStageStats()
+	if len(fleet) == 0 {
+		return
+	}
+	stages := make([]string, 0, len(fleet))
+	for st := range fleet {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	_ = telemetry.WriteFamilyHeader(w, "fabric_fleet_stage_seconds", "stage latency aggregated across all fleet nodes")
+	for _, st := range stages {
+		_ = telemetry.WriteSnapshotSeries(w, "fabric_fleet_stage_seconds", telemetry.Labels{"stage": st}, fleet[st])
+	}
+}
+
+// fleetStageStats merges every backend's last pushed stage snapshots into
+// one per-stage view. Backends are visited in address order so exemplar
+// tie-breaking is deterministic; stages whose snapshots disagree on bucket
+// bounds (mid-upgrade fleets) are dropped rather than summed wrongly.
+func (g *Gateway) fleetStageStats() map[string]telemetry.HistSnapshot {
+	backends := g.allBackends()
+	sort.Slice(backends, func(i, j int) bool { return backends[i].addr < backends[j].addr })
+	perStage := map[string][]telemetry.HistSnapshot{}
+	for _, b := range backends {
+		for st, snap := range b.stageStats() {
+			perStage[st] = append(perStage[st], snap)
+		}
+	}
+	out := make(map[string]telemetry.HistSnapshot, len(perStage))
+	for st, snaps := range perStage {
+		merged, err := telemetry.MergeSnapshots(snaps)
+		if err != nil {
+			continue
+		}
+		out[st] = merged
+	}
+	return out
 }

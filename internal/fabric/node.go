@@ -239,6 +239,9 @@ func (n *Node) heartbeat(c *nodeConn, stop <-chan struct{}) {
 			if n.writeHealth(c, FrameHealth) != nil {
 				return
 			}
+			if n.writeStats(c) != nil {
+				return
+			}
 		}
 	}
 }
@@ -251,6 +254,17 @@ func (n *Node) writeHealth(c *nodeConn, typ uint8) error {
 	return c.write(Frame{Type: typ, Payload: payload})
 }
 
+// writeStats pushes the node's stage-histogram snapshots. Sent after every
+// job and with every heartbeat; the gateway keeps only the latest snapshot
+// per node, so resends are idempotent.
+func (n *Node) writeStats(c *nodeConn) error {
+	payload, err := json.Marshal(StatsPayload{ID: n.cfg.ID, Stages: n.exec.StageStats()})
+	if err != nil {
+		return err
+	}
+	return c.write(Frame{Type: FrameStats, Payload: payload})
+}
+
 // startJob validates and dispatches one Job frame. The executor's bounded
 // queue applies backpressure: a full queue answers immediately with a
 // queue_full error frame instead of parking the connection. Payloads may
@@ -259,6 +273,7 @@ func (n *Node) writeHealth(c *nodeConn, typ uint8) error {
 func (n *Node) startJob(c *nodeConn, f Frame) {
 	var req serve.EvalRequest
 	var timeout time.Duration
+	var trace string
 	var env JobPayload
 	if err := json.Unmarshal(f.Payload, &env); err == nil && len(env.Req) > 0 {
 		if err := json.Unmarshal(env.Req, &req); err != nil {
@@ -268,6 +283,7 @@ func (n *Node) startJob(c *nodeConn, f Frame) {
 		if env.TimeoutMs > 0 {
 			timeout = time.Duration(env.TimeoutMs) * time.Millisecond
 		}
+		trace = env.Trace
 	} else if err := json.Unmarshal(f.Payload, &req); err != nil {
 		n.writeJobError(c, f.JobID, JobError{Code: CodeBadRequest, Error: "bad job payload: " + err.Error()})
 		return
@@ -284,17 +300,27 @@ func (n *Node) startJob(c *nodeConn, f Frame) {
 	n.jobs.Add(1)
 	go func() {
 		defer n.jobs.Done()
-		n.runJob(c, f.JobID, req, timeout)
+		n.runJob(c, f.JobID, req, timeout, trace)
 	}()
 }
 
 // runJob executes one evaluation and writes the Result or Error frame. The
 // response is encoded exactly like the HTTP server encodes it (json.Encoder,
 // trailing newline) so the gateway can forward the payload bytes verbatim
-// and stay bit-identical with single-box serve.
-func (n *Node) runJob(c *nodeConn, id uint64, req serve.EvalRequest, timeout time.Duration) {
-	sp := n.cfg.Trace.Span("fabric_job", obs.S("node", n.cfg.ID), obs.I64("job", int64(id)))
-	ctx := context.Background()
+// and stay bit-identical with single-box serve. A trace context from the
+// envelope parents this node's fabric_job span under the gateway's attempt
+// span; the span rides the context so the executor's stage spans (queue,
+// batch, per-replica forward/decode) nest beneath it. After each job the
+// node pushes a Stats frame so the gateway's fleet view reflects the work
+// promptly rather than on the next heartbeat.
+func (n *Node) runJob(c *nodeConn, id uint64, req serve.EvalRequest, timeout time.Duration, trace string) {
+	sc, ok := obs.ParseSpanContext(trace)
+	if !ok {
+		// A malformed context must not fail the job: trace locally instead.
+		sc = obs.SpanContext{}
+	}
+	sp := n.cfg.Trace.SpanInContext(sc, "fabric_job", obs.S("node", n.cfg.ID), obs.I64("job", int64(id)))
+	ctx := obs.ContextWithSpan(context.Background(), sp)
 	if timeout > 0 {
 		// The gateway's remaining budget: the pool checks the context before
 		// dequeuing, so work the gateway already abandoned is skipped
@@ -303,6 +329,7 @@ func (n *Node) runJob(c *nodeConn, id uint64, req serve.EvalRequest, timeout tim
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	defer func() { _ = n.writeStats(c) }()
 	resp, err := n.exec.Evaluate(ctx, req)
 	if err != nil {
 		n.jobErrors.Inc()

@@ -192,55 +192,107 @@ func (r *JournalRecord) Str(key string) string {
 // record kind must be known to this schema. The header record is not
 // returned.
 func ReadJournal(r io.Reader) ([]JournalRecord, error) {
+	recs, _, err := readJournal(r, false)
+	return recs, err
+}
+
+// ReadJournalLenient reads like ReadJournal but tolerates a torn trailing
+// line — the signature of a process killed mid-Emit or a copy of a live
+// journal — the same way fabric WAL replay does. When the final non-empty
+// line fails to decode, the records before it are returned along with a
+// non-empty warning describing what was dropped. Corruption anywhere else
+// (a bad line with valid lines after it) still fails hard: that is not a
+// torn tail, it is a damaged file.
+func ReadJournalLenient(r io.Reader) (recs []JournalRecord, warning string, err error) {
+	return readJournal(r, true)
+}
+
+func readJournal(r io.Reader, lenient bool) ([]JournalRecord, string, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	known := KnownKinds()
 	var out []JournalRecord
 	line := 0
+	// In lenient mode a decode failure is held here while we look for any
+	// later non-empty line; only a failure on the final line is forgiven.
+	var tornLine int
+	var tornErr error
+	fail := func(err error) ([]JournalRecord, string, error) { return nil, "", err }
 	for sc.Scan() {
 		line++
 		text := sc.Bytes()
 		if len(text) == 0 {
 			continue
 		}
+		if tornErr != nil {
+			// The earlier bad line was not the tail after all.
+			return fail(tornErr)
+		}
+		hold := func(err error) bool {
+			if lenient && line > 1 {
+				tornLine, tornErr = line, err
+				return true
+			}
+			return false
+		}
 		var fields map[string]any
 		if err := json.Unmarshal(text, &fields); err != nil {
-			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+			err = fmt.Errorf("obs: journal line %d: %w", line, err)
+			if hold(err) {
+				continue
+			}
+			return fail(err)
 		}
 		kind, _ := fields["k"].(string)
 		if kind == "" {
-			return nil, fmt.Errorf("obs: journal line %d: missing record kind", line)
+			err := fmt.Errorf("obs: journal line %d: missing record kind", line)
+			if hold(err) {
+				continue
+			}
+			return fail(err)
 		}
 		if !known[kind] {
-			return nil, fmt.Errorf("obs: journal line %d: unknown record kind %q", line, kind)
+			err := fmt.Errorf("obs: journal line %d: unknown record kind %q", line, kind)
+			if hold(err) {
+				continue
+			}
+			return fail(err)
 		}
 		if line == 1 {
 			if kind != "journal" {
-				return nil, fmt.Errorf("obs: journal line 1: want header record, got %q", kind)
+				return fail(fmt.Errorf("obs: journal line 1: want header record, got %q", kind))
 			}
 			schema, ok := fields["schema"].(float64)
 			if !ok || int(schema) != SchemaVersion {
-				return nil, fmt.Errorf("obs: journal schema %v, want %d", fields["schema"], SchemaVersion)
+				return fail(fmt.Errorf("obs: journal schema %v, want %d", fields["schema"], SchemaVersion))
 			}
 			continue
 		}
 		if kind == "journal" {
-			return nil, fmt.Errorf("obs: journal line %d: duplicate header", line)
+			return fail(fmt.Errorf("obs: journal line %d: duplicate header", line))
 		}
 		rec := JournalRecord{Kind: kind, Fields: fields}
 		rec.Span, _ = fields["sp"].(string)
 		if t, ok := fields["t"].(float64); ok {
 			rec.Tick = int64(t)
 		} else {
-			return nil, fmt.Errorf("obs: journal line %d: missing tick", line)
+			err := fmt.Errorf("obs: journal line %d: missing tick", line)
+			if hold(err) {
+				continue
+			}
+			return fail(err)
 		}
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: reading journal: %w", err)
+		return fail(fmt.Errorf("obs: reading journal: %w", err))
 	}
 	if line == 0 {
-		return nil, fmt.Errorf("obs: empty journal (no header)")
+		return fail(fmt.Errorf("obs: empty journal (no header)"))
 	}
-	return out, nil
+	var warning string
+	if tornErr != nil {
+		warning = fmt.Sprintf("dropped torn trailing line %d: %v", tornLine, tornErr)
+	}
+	return out, warning, nil
 }

@@ -143,6 +143,57 @@ func TestReadJournalRejections(t *testing.T) {
 	}
 }
 
+func TestReadJournalLenientTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJournal(&buf), NewLogicalClock())
+	emitFixture(tr)
+
+	strict, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a writer killed mid-record: chop the final line in half.
+	whole := buf.Bytes()
+	cut := bytes.LastIndexByte(whole[:len(whole)-1], '\n') + 1
+	torn := append(append([]byte{}, whole[:cut]...), whole[cut:cut+5]...)
+
+	if _, err := ReadJournal(bytes.NewReader(torn)); err == nil {
+		t.Fatal("strict reader accepted a torn trailing line")
+	}
+	recs, warning, err := ReadJournalLenient(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("lenient reader failed: %v", err)
+	}
+	if warning == "" || !strings.Contains(warning, "torn trailing line") {
+		t.Fatalf("warning = %q, want torn-line mention", warning)
+	}
+	if len(recs) != len(strict)-1 {
+		t.Fatalf("lenient read kept %d records, want %d", len(recs), len(strict)-1)
+	}
+
+	// An intact journal reads identically with no warning.
+	recs, warning, err = ReadJournalLenient(bytes.NewReader(whole))
+	if err != nil || warning != "" {
+		t.Fatalf("intact journal: err=%v warning=%q", err, warning)
+	}
+	if len(recs) != len(strict) {
+		t.Fatalf("intact lenient read dropped records: %d vs %d", len(recs), len(strict))
+	}
+}
+
+func TestReadJournalLenientMidFileStillFatal(t *testing.T) {
+	// A bad line followed by a good one is corruption, not a torn tail.
+	in := "{\"k\":\"journal\",\"schema\":1}\nnot json\n{\"k\":\"iter\",\"t\":1}\n"
+	if _, _, err := ReadJournalLenient(strings.NewReader(in)); err == nil {
+		t.Fatal("lenient reader accepted mid-file corruption")
+	}
+	// A torn header is fatal too: there is nothing trustworthy to salvage.
+	if _, _, err := ReadJournalLenient(strings.NewReader(`{"k":"jour`)); err == nil {
+		t.Fatal("lenient reader accepted a torn header")
+	}
+}
+
 func TestJournalFileLifecycle(t *testing.T) {
 	path := t.TempDir() + "/run.jsonl"
 	j, err := OpenJournal(path)

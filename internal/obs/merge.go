@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file merges per-process journals into one cross-process causal tree.
+// Each process records spans against its own clock (usually a LogicalClock,
+// so ticks are process-local counters); the cross-process span_start
+// attributes written by SpanInContext — trace, parent, pproc, ptick — carry
+// enough structure to both re-parent spans across journals and align the
+// clocks: a child span cannot start, in global time, before its parent
+// process captured the context at ptick. Everything here is deterministic:
+// given the same journals, the merged tree, the alignment offsets, and the
+// rendered report are byte-identical.
+
+// ProcessJournal pairs a process name with its parsed journal records. The
+// name must match what the process handed to Trace.SetProcess, because the
+// pproc attributes in other journals refer to it.
+type ProcessJournal struct {
+	Proc    string
+	Records []JournalRecord
+}
+
+// MergedSpan is one node of the merged cross-process tree.
+type MergedSpan struct {
+	Proc    string
+	ID      string // span ID inside Proc
+	Name    string
+	TraceID string
+	Start   int64 // local ticks
+	End     int64 // local ticks; == Start when the span never ended
+	GStart  int64 // globally aligned ticks (local + process offset)
+	GEnd    int64
+	Dur     int64 // End-Start; -1 when the span_end record is missing
+	// Parent/PProc/PTick are the remote-parent pointers from the wire
+	// context; empty for locally parented spans and for global roots.
+	Parent   string
+	PProc    string
+	PTick    int64
+	Children []*MergedSpan
+}
+
+// MergedTrace is the result of merging: the forest of global roots (one
+// root in the healthy single-request case) plus the per-process clock
+// offsets the alignment chose.
+type MergedTrace struct {
+	Roots   []*MergedSpan
+	Offsets map[string]int64
+	// Orphans counts spans whose remote parent could not be found in any
+	// supplied journal (a journal is missing, or the parent's process name
+	// does not match). They are promoted to roots so no data is dropped.
+	Orphans int
+}
+
+// MergeTrace builds the causal tree across journals. Journals may be passed
+// in any order; every ordering yields identical output.
+func MergeTrace(journals []ProcessJournal) (*MergedTrace, error) {
+	type key struct{ proc, id string }
+	spans := map[key]*MergedSpan{}
+	perProc := map[string][]*MergedSpan{}
+	procs := make([]string, 0, len(journals))
+	for _, j := range journals {
+		if _, dup := perProc[j.Proc]; dup {
+			return nil, fmt.Errorf("obs: merge: duplicate process name %q", j.Proc)
+		}
+		perProc[j.Proc] = nil
+		procs = append(procs, j.Proc)
+		for i := range j.Records {
+			r := &j.Records[i]
+			switch r.Kind {
+			case "span_start":
+				s := &MergedSpan{
+					Proc: j.Proc, ID: r.Span, Name: r.Str("name"),
+					TraceID: r.Str("trace"), Start: r.Tick, End: r.Tick, Dur: -1,
+					Parent: r.Str("parent"), PProc: r.Str("pproc"), PTick: r.Int("ptick"),
+				}
+				if _, dup := spans[key{j.Proc, r.Span}]; dup {
+					return nil, fmt.Errorf("obs: merge: duplicate span %s in process %q", r.Span, j.Proc)
+				}
+				spans[key{j.Proc, r.Span}] = s
+				perProc[j.Proc] = append(perProc[j.Proc], s)
+			case "span_end":
+				if s, ok := spans[key{j.Proc, r.Span}]; ok {
+					s.End = r.Tick
+					s.Dur = r.Tick - s.Start
+				}
+			}
+		}
+	}
+	sort.Strings(procs)
+
+	// Parent resolution. Local first (span IDs encode their ancestry), then
+	// the wire context for local roots.
+	m := &MergedTrace{Offsets: map[string]int64{}}
+	type edge struct {
+		child *MergedSpan
+		ptick int64 // parent-process tick at the send point
+	}
+	crossEdges := map[string][]edge{} // keyed by child process
+	for _, proc := range procs {
+		for _, s := range perProc[proc] {
+			if i := strings.LastIndexByte(s.ID, '/'); i >= 0 {
+				if p, ok := spans[key{proc, s.ID[:i]}]; ok {
+					p.Children = append(p.Children, s)
+					if s.TraceID == "" {
+						s.TraceID = p.TraceID
+					}
+					continue
+				}
+			}
+			if s.Parent != "" {
+				if p, ok := spans[key{s.PProc, s.Parent}]; ok {
+					p.Children = append(p.Children, s)
+					crossEdges[proc] = append(crossEdges[proc], edge{child: s, ptick: s.PTick})
+					continue
+				}
+				m.Orphans++
+			}
+			m.Roots = append(m.Roots, s)
+		}
+	}
+
+	// Clock alignment: pick per-process offsets so every cross-process
+	// child starts strictly after its parent's send tick in global time.
+	// Iterative relaxation to a fixpoint; processes with no inbound edges
+	// (the gateway) keep offset 0, so gateway ticks are the global frame.
+	for _, proc := range procs {
+		m.Offsets[proc] = 0
+	}
+	for iter := 0; iter <= len(procs); iter++ {
+		changed := false
+		for _, proc := range procs {
+			for _, e := range crossEdges[proc] {
+				need := m.Offsets[e.child.PProc] + e.ptick + 1 - e.child.Start
+				if need > m.Offsets[proc] {
+					m.Offsets[proc] = need
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, proc := range procs {
+		off := m.Offsets[proc]
+		for _, s := range perProc[proc] {
+			s.GStart = s.Start + off
+			s.GEnd = s.End + off
+		}
+	}
+
+	less := func(a, b *MergedSpan) bool {
+		if a.GStart != b.GStart {
+			return a.GStart < b.GStart
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.ID < b.ID
+	}
+	var sortTree func(s *MergedSpan)
+	sortTree = func(s *MergedSpan) {
+		sort.Slice(s.Children, func(i, j int) bool { return less(s.Children[i], s.Children[j]) })
+		for _, c := range s.Children {
+			sortTree(c)
+		}
+	}
+	sort.Slice(m.Roots, func(i, j int) bool { return less(m.Roots[i], m.Roots[j]) })
+	for _, r := range m.Roots {
+		sortTree(r)
+	}
+	return m, nil
+}
+
+// CriticalPath walks from root to the leaf that determines the root's end
+// time: at every level it descends into the child whose global end is
+// latest (ties broken by global start, then process, then ID — all
+// deterministic). The returned slice starts at root.
+func CriticalPath(root *MergedSpan) []*MergedSpan {
+	var path []*MergedSpan
+	for s := root; s != nil; {
+		path = append(path, s)
+		var next *MergedSpan
+		for _, c := range s.Children {
+			if next == nil || laterEnd(c, next) {
+				next = c
+			}
+		}
+		s = next
+	}
+	return path
+}
+
+func laterEnd(a, b *MergedSpan) bool {
+	if a.GEnd != b.GEnd {
+		return a.GEnd > b.GEnd
+	}
+	if a.GStart != b.GStart {
+		return a.GStart > b.GStart
+	}
+	if a.Proc != b.Proc {
+		return a.Proc > b.Proc
+	}
+	return a.ID > b.ID
+}
+
+// StageStat aggregates all spans sharing one name — the per-stage view of
+// the merged trace (forward, decode, dispatch, ...).
+type StageStat struct {
+	Name            string
+	Count           int
+	Total, Min, Max int64
+	Unfinished      int
+}
+
+// StageBreakdown aggregates span durations by span name, sorted by total
+// duration descending (ties by name) so the dominant stage leads the table.
+// Unfinished spans are counted but contribute no duration.
+func (m *MergedTrace) StageBreakdown() []StageStat {
+	agg := map[string]*StageStat{}
+	var walk func(s *MergedSpan)
+	walk = func(s *MergedSpan) {
+		st := agg[s.Name]
+		if st == nil {
+			st = &StageStat{Name: s.Name}
+			agg[s.Name] = st
+		}
+		st.Count++
+		if s.Dur < 0 {
+			st.Unfinished++
+		} else {
+			st.Total += s.Dur
+			if st.Count-st.Unfinished == 1 || s.Dur < st.Min {
+				st.Min = s.Dur
+			}
+			if s.Dur > st.Max {
+				st.Max = s.Dur
+			}
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, r := range m.Roots {
+		walk(r)
+	}
+	out := make([]StageStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RenderMerged writes the human-readable merged-trace report: clock
+// offsets, the causal tree, the per-stage breakdown table, and the critical
+// path for each root. The output is a pure function of the input journals.
+func RenderMerged(w io.Writer, m *MergedTrace) error {
+	procs := make([]string, 0, len(m.Offsets))
+	for p := range m.Offsets {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	fmt.Fprintf(w, "merged trace: %d process(es), %d root span(s)\n", len(procs), len(m.Roots))
+	for _, p := range procs {
+		fmt.Fprintf(w, "  clock %-12s offset %+d\n", p, m.Offsets[p])
+	}
+	if m.Orphans > 0 {
+		fmt.Fprintf(w, "  warning: %d span(s) reference a parent in a journal not supplied; promoted to roots\n", m.Orphans)
+	}
+
+	fmt.Fprintf(w, "\n== causal tree\n")
+	var render func(s *MergedSpan, depth int)
+	render = func(s *MergedSpan, depth int) {
+		dur := "?"
+		if s.Dur >= 0 {
+			dur = fmt.Sprintf("%d", s.Dur)
+		}
+		fmt.Fprintf(w, "%s%s [%s %s] t=[%d,%d] dur=%s\n",
+			strings.Repeat("  ", depth), s.Name, s.Proc, s.ID, s.GStart, s.GEnd, dur)
+		for _, c := range s.Children {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range m.Roots {
+		if r.TraceID != "" {
+			fmt.Fprintf(w, "trace %s\n", r.TraceID)
+		}
+		render(r, 0)
+	}
+
+	fmt.Fprintf(w, "\n== stage breakdown (ticks)\n")
+	stats := m.StageBreakdown()
+	nameW := len("stage")
+	for _, st := range stats {
+		if len(st.Name) > nameW {
+			nameW = len(st.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s %6s %8s %6s %6s\n", nameW, "stage", "count", "total", "min", "max")
+	for _, st := range stats {
+		fmt.Fprintf(w, "%-*s %6d %8d %6d %6d", nameW, st.Name, st.Count, st.Total, st.Min, st.Max)
+		if st.Unfinished > 0 {
+			fmt.Fprintf(w, "  (%d unfinished)", st.Unfinished)
+		}
+		fmt.Fprintln(w)
+	}
+
+	for _, r := range m.Roots {
+		fmt.Fprintf(w, "\n== critical path (root %s [%s %s])\n", r.Name, r.Proc, r.ID)
+		path := CriticalPath(r)
+		for i, s := range path {
+			self := s.Dur
+			if i+1 < len(path) && self >= 0 && path[i+1].Dur >= 0 {
+				self -= path[i+1].Dur
+			}
+			dur, selfs := "?", "?"
+			if s.Dur >= 0 {
+				dur = fmt.Sprintf("%d", s.Dur)
+			}
+			if s.Dur >= 0 && (i+1 >= len(path) || path[i+1].Dur >= 0) {
+				selfs = fmt.Sprintf("%d", self)
+			}
+			fmt.Fprintf(w, "%s%s [%s] dur=%s self=%s\n", strings.Repeat("  ", i), s.Name, s.Proc, dur, selfs)
+		}
+	}
+	return nil
+}

@@ -167,9 +167,10 @@ type Sink interface {
 // evaluation/serving paths. A nil *Trace is the canonical no-op: every
 // method on it (and on the nil *Span it hands out) returns immediately.
 type Trace struct {
-	sink  Sink
-	clock Clock
-	roots atomic.Int64
+	sink    Sink
+	clock   Clock
+	process string
+	roots   atomic.Int64
 }
 
 // New builds a trace around a sink. A nil sink — including a typed nil
@@ -211,13 +212,18 @@ func (t *Trace) Span(name string, attrs ...Attr) *Span {
 		return nil
 	}
 	n := t.roots.Add(1) - 1
-	return t.startSpan(name, name+"#"+strconv.FormatInt(n, 10), attrs)
+	return t.startSpan(name, name+"#"+strconv.FormatInt(n, 10), "", nil, attrs)
 }
 
-func (t *Trace) startSpan(name, id string, attrs []Attr) *Span {
-	s := &Span{t: t, ID: id, name: name, start: t.clock.Now()}
-	rec := make([]Attr, 0, len(attrs)+1)
+// startSpan opens a span and emits its span_start record. ctx holds the
+// trace-context attributes (trace/parent/pproc/ptick) that SpanInContext
+// prepends between the name and the caller's attrs; plain spans pass nil so
+// their journal bytes are unchanged.
+func (t *Trace) startSpan(name, id, traceID string, ctx, attrs []Attr) *Span {
+	s := &Span{t: t, ID: id, name: name, traceID: traceID, start: t.clock.Now()}
+	rec := make([]Attr, 0, len(ctx)+len(attrs)+1)
 	rec = append(rec, S("name", name))
+	rec = append(rec, ctx...)
 	rec = append(rec, attrs...)
 	r := Record{Kind: "span_start", Span: id, Tick: s.start, Attrs: rec}
 	t.sink.Emit(&r)
@@ -229,6 +235,7 @@ type Span struct {
 	t        *Trace
 	ID       string
 	name     string
+	traceID  string
 	start    int64
 	children atomic.Int64
 }
@@ -243,7 +250,7 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 	}
 	n := s.children.Add(1) - 1
 	id := s.ID + "/" + name + "#" + strconv.FormatInt(n, 10)
-	return s.t.startSpan(name, id, attrs)
+	return s.t.startSpan(name, id, s.traceID, nil, attrs)
 }
 
 // End closes the span, recording its duration in clock ticks.

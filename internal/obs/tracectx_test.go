@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSpanContextEncodeParseRoundTrip(t *testing.T) {
+	cases := []SpanContext{
+		{},
+		{TraceID: "gw:gateway_request#0", Proc: "gw", Parent: "gateway_request#0", Tick: 7},
+		{TraceID: "n1:fabric_job#3", Proc: "n1", Parent: "fabric_job#3/eval#0", Tick: 0},
+	}
+	for _, sc := range cases {
+		got, ok := ParseSpanContext(sc.Encode())
+		if !ok {
+			t.Fatalf("ParseSpanContext(%q) rejected", sc.Encode())
+		}
+		if got != sc {
+			t.Fatalf("roundtrip %+v -> %q -> %+v", sc, sc.Encode(), got)
+		}
+	}
+	if s := (SpanContext{}).Encode(); s != "" {
+		t.Fatalf("zero context encodes as %q, want empty", s)
+	}
+}
+
+func TestParseSpanContextRejections(t *testing.T) {
+	bad := []string{
+		"a;b;c",         // too few fields
+		"a;b;c;d;e",     // too many fields
+		"a;b;c;notnum",  // non-decimal tick
+		";;;0",          // zero context spelled out
+		"a;b;c;1.5",     // float tick
+		"trace;p;s;1;x", // trailing garbage field
+	}
+	for _, s := range bad {
+		if _, ok := ParseSpanContext(s); ok {
+			t.Fatalf("ParseSpanContext(%q) accepted, want rejection", s)
+		}
+	}
+}
+
+func TestSpanInContextAttrs(t *testing.T) {
+	sink := &captureSink{}
+	tr := New(sink, NewLogicalClock())
+	tr.SetProcess("n1")
+
+	sc := SpanContext{TraceID: "gw:gateway_request#0", Proc: "gw", Parent: "gateway_request#0/attempt#0", Tick: 9}
+	sp := tr.SpanInContext(sc, "fabric_job", S("node", "n1"))
+	sp.End()
+
+	start := sink.recs[0]
+	if start.Kind != "span_start" || start.Span != "fabric_job#0" {
+		t.Fatalf("unexpected start record %+v", start)
+	}
+	attrs := map[string]Attr{}
+	for _, a := range start.Attrs {
+		attrs[a.Key] = a
+	}
+	if got := attrs["trace"].Str; got != "gw:gateway_request#0" {
+		t.Fatalf("trace attr = %q", got)
+	}
+	if got := attrs["parent"].Str; got != "gateway_request#0/attempt#0" {
+		t.Fatalf("parent attr = %q", got)
+	}
+	if got := attrs["pproc"].Str; got != "gw" {
+		t.Fatalf("pproc attr = %q", got)
+	}
+	if got := attrs["ptick"].Int; got != 9 {
+		t.Fatalf("ptick attr = %d", got)
+	}
+	if got := attrs["node"].Str; got != "n1" {
+		t.Fatalf("user attr survives: node = %q", got)
+	}
+}
+
+func TestSpanInContextZeroMintsTrace(t *testing.T) {
+	sink := &captureSink{}
+	tr := New(sink, NewLogicalClock())
+	tr.SetProcess("gw")
+	sp := tr.SpanInContext(SpanContext{}, "gateway_request")
+	if got := sp.TraceID(); got != "gw:gateway_request#0" {
+		t.Fatalf("minted trace id = %q", got)
+	}
+	// No remote parent: the start record must carry trace but not parent.
+	for _, a := range sink.recs[0].Attrs {
+		if a.Key == "parent" || a.Key == "pproc" || a.Key == "ptick" {
+			t.Fatalf("zero-context root leaked remote-parent attr %q", a.Key)
+		}
+	}
+	// Children inherit the trace id and contexts point at them.
+	c := sp.Child("dispatch")
+	cc := c.Context()
+	if cc.TraceID != "gw:gateway_request#0" || cc.Proc != "gw" || cc.Parent != "gateway_request#0/dispatch#0" {
+		t.Fatalf("child context = %+v", cc)
+	}
+}
+
+func TestPlainSpanContextMintsLazily(t *testing.T) {
+	sink := &captureSink{}
+	tr := New(sink, NewLogicalClock())
+	tr.SetProcess("solo")
+	sp := tr.Span("train")
+	sc := sp.Context()
+	if sc.TraceID != "solo:train#0" {
+		t.Fatalf("plain span context trace = %q", sc.TraceID)
+	}
+	// The plain span's journal bytes must not change: no trace attr.
+	for _, a := range sink.recs[0].Attrs {
+		if a.Key == "trace" {
+			t.Fatal("plain Trace.Span emitted a trace attr")
+		}
+	}
+}
+
+func TestContextWithSpan(t *testing.T) {
+	ctx := context.Background()
+	if got := SpanFromContext(ctx); got != nil {
+		t.Fatalf("empty context carries span %v", got)
+	}
+	if got := ContextWithSpan(ctx, nil); got != ctx {
+		t.Fatal("attaching nil span should be a no-op")
+	}
+	tr := New(&captureSink{}, NewLogicalClock())
+	sp := tr.Span("x")
+	if got := SpanFromContext(ContextWithSpan(ctx, sp)); got != sp {
+		t.Fatalf("SpanFromContext = %v, want %v", got, sp)
+	}
+}
+
+// journalFor runs fn against a trace journaling into memory and returns the
+// decoded records.
+func journalFor(t *testing.T, proc string, fn func(tr *Trace)) []JournalRecord {
+	t.Helper()
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	tr := New(j, NewLogicalClock())
+	tr.SetProcess(proc)
+	fn(tr)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestMergeTraceTwoProcesses(t *testing.T) {
+	// Gateway opens request -> dispatch -> attempt, hands the attempt's
+	// context to the "node", which opens fabric_job -> forward under it.
+	var attemptCtx SpanContext
+	gw := journalFor(t, "gw", func(tr *Trace) {
+		req := tr.SpanInContext(SpanContext{}, "gateway_request")
+		dsp := req.Child("dispatch")
+		asp := dsp.Child("attempt", S("node", "n1"))
+		attemptCtx = asp.Context()
+		asp.End(S("outcome", "ok"))
+		dsp.End()
+		req.End()
+	})
+	node := journalFor(t, "n1", func(tr *Trace) {
+		job := tr.SpanInContext(attemptCtx, "fabric_job")
+		fwd := job.Child("forward")
+		fwd.End()
+		job.End()
+	})
+
+	m, err := MergeTrace([]ProcessJournal{
+		{Proc: "gw", Records: gw},
+		{Proc: "n1", Records: node},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(m.Roots))
+	}
+	root := m.Roots[0]
+	if root.Proc != "gw" || root.Name != "gateway_request" {
+		t.Fatalf("root = %s %s", root.Proc, root.Name)
+	}
+	if m.Orphans != 0 {
+		t.Fatalf("%d orphans", m.Orphans)
+	}
+
+	// Walk: request -> dispatch -> attempt -> fabric_job -> forward.
+	var path []string
+	var walk func(s *MergedSpan)
+	walk = func(s *MergedSpan) {
+		path = append(path, s.Proc+"/"+s.Name)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	want := []string{"gw/gateway_request", "gw/dispatch", "gw/attempt", "n1/fabric_job", "n1/forward"}
+	if strings.Join(path, " ") != strings.Join(want, " ") {
+		t.Fatalf("tree = %v, want %v", path, want)
+	}
+
+	// Causality: the node's job cannot start before the attempt captured
+	// its context, in global (offset-adjusted) time.
+	var job *MergedSpan
+	for _, c := range root.Children[0].Children[0].Children {
+		if c.Name == "fabric_job" {
+			job = c
+		}
+	}
+	if job == nil {
+		t.Fatal("fabric_job not under attempt")
+	}
+	if job.GStart <= job.PTick+m.Offsets["gw"] {
+		t.Fatalf("job GStart %d not after parent tick %d", job.GStart, job.PTick)
+	}
+	if m.Offsets["gw"] != 0 {
+		t.Fatalf("root process offset = %d, want 0", m.Offsets["gw"])
+	}
+}
+
+func TestMergeTraceOrphanPromoted(t *testing.T) {
+	node := journalFor(t, "n1", func(tr *Trace) {
+		// Remote parent context whose journal we never supply.
+		sc := SpanContext{TraceID: "gw:gateway_request#0", Proc: "gw", Parent: "gateway_request#0", Tick: 5}
+		sp := tr.SpanInContext(sc, "fabric_job")
+		sp.End()
+	})
+	m, err := MergeTrace([]ProcessJournal{{Proc: "n1", Records: node}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Orphans != 1 || len(m.Roots) != 1 {
+		t.Fatalf("orphans=%d roots=%d, want 1/1", m.Orphans, len(m.Roots))
+	}
+}
+
+func TestMergeTraceDuplicateProcess(t *testing.T) {
+	recs := journalFor(t, "p", func(tr *Trace) { tr.Span("x").End() })
+	_, err := MergeTrace([]ProcessJournal{{Proc: "p", Records: recs}, {Proc: "p", Records: recs}})
+	if err == nil {
+		t.Fatal("duplicate process accepted")
+	}
+}
+
+func TestRenderMergedDeterministic(t *testing.T) {
+	build := func() string {
+		var attemptCtx SpanContext
+		gw := journalFor(t, "gw", func(tr *Trace) {
+			req := tr.SpanInContext(SpanContext{}, "gateway_request")
+			asp := req.Child("attempt")
+			attemptCtx = asp.Context()
+			asp.End()
+			req.End()
+		})
+		n1 := journalFor(t, "n1", func(tr *Trace) {
+			tr.SpanInContext(attemptCtx, "fabric_job").End()
+		})
+		m, err := MergeTrace([]ProcessJournal{{Proc: "gw", Records: gw}, {Proc: "n1", Records: n1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := RenderMerged(&out, m); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("merged render differs across identical runs:\n%s\n---\n%s", a, b)
+	}
+	for _, want := range []string{"merged trace:", "== causal tree", "== stage breakdown", "== critical path"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("render missing %q:\n%s", want, a)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"roadtrojan/internal/eval"
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/tensor"
 	"roadtrojan/internal/yolo"
 )
@@ -102,11 +103,14 @@ type callResult struct {
 
 // evalCall is one evaluate request parked in the coalescer: its cache key
 // (the dedupe identity), the prepared job, and a buffered reply channel so
-// fan-out never blocks on a waiter that gave up.
+// fan-out never blocks on a waiter that gave up. parked/traceID feed the
+// batch_wait stage histogram.
 type evalCall struct {
-	key  string
-	job  eval.Job
-	done chan callResult
+	key     string
+	job     eval.Job
+	done    chan callResult
+	parked  time.Time
+	traceID string
 }
 
 // flushEvaluate dispatches one evaluate batch: requests are grouped by cache
@@ -117,6 +121,10 @@ type evalCall struct {
 func (e *Executor) flushEvaluate(batch []*evalCall, reason string) {
 	e.flushCounter(reason).Inc()
 	e.batchOccupancy.Observe(float64(len(batch)))
+	now := e.cfg.Clock.Now()
+	for _, c := range batch {
+		e.observeStage(StageBatchWait, now.Sub(c.parked), c.traceID)
+	}
 	groups := make(map[string][]*evalCall, len(batch))
 	var order []string
 	for _, c := range batch {
@@ -150,7 +158,7 @@ func (e *Executor) flushEvaluate(batch []*evalCall, reason string) {
 func (e *Executor) dispatchEvalGroup(key string, g []*evalCall) {
 	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.JobTimeout)
 	job := g[0].job
-	t := &task{ctx: ctx, done: make(chan taskResult, 1), run: func(det *yolo.Model) (any, error) {
+	t := &task{ctx: ctx, done: make(chan taskResult, 1), traceID: g[0].traceID, run: func(det *yolo.Model) (any, error) {
 		j := job
 		j.Det = det
 		return e.cfg.Job(j)
@@ -185,10 +193,15 @@ type detectResult struct {
 	err  error
 }
 
-// detectCall is one detect request parked in the coalescer.
+// detectCall is one detect request parked in the coalescer. span is the
+// request's span (the batched forward/decode leaves parent to the first
+// caller in each group); parked/traceID feed the batch_wait histogram.
 type detectCall struct {
-	req  DetectRequest
-	done chan detectResult
+	req     DetectRequest
+	done    chan detectResult
+	parked  time.Time
+	span    *obs.Span
+	traceID string
 }
 
 // flushDetect dispatches one detect batch: frames are grouped by resolution,
@@ -198,6 +211,10 @@ type detectCall struct {
 func (e *Executor) flushDetect(batch []*detectCall, reason string) {
 	e.flushCounter(reason).Inc()
 	e.batchOccupancy.Observe(float64(len(batch)))
+	now := e.cfg.Clock.Now()
+	for _, c := range batch {
+		e.observeStage(StageBatchWait, now.Sub(c.parked), c.traceID)
+	}
 	type dims struct{ h, w int }
 	groups := make(map[dims][]*detectCall, 1)
 	var order []dims
@@ -224,9 +241,22 @@ func (e *Executor) dispatchDetectGroup(h, w int, g []*detectCall) {
 		pixels = append(pixels, c.req.Image...)
 	}
 	img := tensor.FromSlice(pixels, len(g), 3, h, w)
-	t := &task{ctx: ctx, done: make(chan taskResult, 1), run: func(det *yolo.Model) (any, error) {
+	// The batched forward runs once for the whole group; its spans and
+	// stage observations attribute to the group's first caller (the request
+	// whose arrival opened the batch window).
+	lead, hook := g[0].span, e.stageHook(g[0].traceID)
+	t := &task{ctx: ctx, done: make(chan taskResult, 1), traceID: g[0].traceID, run: func(det *yolo.Model) (any, error) {
+		fsp := lead.Child(StageForward, obs.I("batch", len(g)))
+		end := hook(StageForward)
 		heads := det.Forward(img)
-		return det.DecodeBatch(heads, yolo.DefaultDecode()), nil
+		end()
+		fsp.End()
+		dsp := lead.Child(StageDecode, obs.I("batch", len(g)))
+		end = hook(StageDecode)
+		dets := det.DecodeBatch(heads, yolo.DefaultDecode())
+		end()
+		dsp.End()
+		return dets, nil
 	}}
 	if err := e.enqueueTask(t); err != nil {
 		cancel()

@@ -61,6 +61,7 @@ type Executor struct {
 	batchDedup     *telemetry.Counter
 	batchOccupancy *telemetry.Histogram
 	flushCounters  map[string]*telemetry.Counter
+	stageHist      map[string]*telemetry.Histogram
 }
 
 // roadSceneSeed fixes the shared road texture; like eval.Env, "the
@@ -98,6 +99,7 @@ func NewExecutor(det *yolo.Model, cfg Config, reg *telemetry.Registry) *Executor
 		e.flushCounters[reason] = reg.Counter("serve_batch_flushes_total", "coalescer flushes by trigger",
 			telemetry.Labels{"reason": reason})
 	}
+	e.initStages()
 	reg.Gauge("serve_workers", "worker pool size", nil).Set(float64(cfg.Workers))
 	reg.Gauge("serve_queue_capacity", "bounded job queue capacity", nil).Set(float64(cfg.QueueSize))
 	reg.GaugeFunc("serve_cache_bytes", "estimated payload bytes held by the result cache", nil,
@@ -156,6 +158,7 @@ func (e *Executor) enqueueTask(t *task) error {
 	if e.poolClosed {
 		return ErrShuttingDown
 	}
+	t.enqueued = e.cfg.Clock.Now()
 	select {
 	case e.jobs <- t:
 		e.queueDepth.Add(1)
@@ -234,6 +237,11 @@ func (e *Executor) observeJobSeconds(d time.Duration) {
 // failures are reported wrapped in ErrBadRequest; capacity exhaustion as
 // ErrQueueFull; drain as ErrShuttingDown.
 func (e *Executor) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse, error) {
+	reqSpan := obs.SpanFromContext(ctx)
+	start := e.cfg.Clock.Now()
+	defer func() {
+		e.observeStage(StageTotal, e.cfg.Clock.Now().Sub(start), reqSpan.TraceID())
+	}()
 	p, target, err := req.normalize()
 	if err != nil {
 		return EvalResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -264,6 +272,11 @@ func (e *Executor) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse,
 		Target: target,
 		Ch:     scene.Challenges(req.Challenge)[0],
 		Cond:   cond,
+		// Observability riders — never part of the cache identity. Parent
+		// hangs the eval span (and its per-frame forward/decode leaves) off
+		// the request's causal tree; Stages feeds the stage histograms.
+		Parent: reqSpan,
+		Stages: e.stageHook(reqSpan.TraceID()),
 	}
 	if e.evalCo != nil {
 		return e.evaluateBatched(ctx, key, job)
@@ -288,8 +301,9 @@ func (e *Executor) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse,
 // and waits for its flush group's outcome. The span brackets the full
 // park-to-answer window, so traces show what coalescing costs each request.
 func (e *Executor) evaluateBatched(ctx context.Context, key string, job eval.Job) (EvalResponse, error) {
-	sp := e.cfg.Trace.Span("evaluate_batched", obs.S("key", key))
-	call := &evalCall{key: key, job: job, done: make(chan callResult, 1)}
+	sp := e.spanUnder(obs.SpanFromContext(ctx), "evaluate_batched", obs.S("key", key))
+	call := &evalCall{key: key, job: job, done: make(chan callResult, 1),
+		parked: e.cfg.Clock.Now(), traceID: obs.SpanFromContext(ctx).TraceID()}
 	if err := park(e, e.evalCo.in, call); err != nil {
 		sp.End(obs.S("outcome", errOutcome(err)))
 		return EvalResponse{}, err
@@ -308,6 +322,17 @@ func (e *Executor) evaluateBatched(ctx context.Context, key string, job eval.Job
 		sp.End(obs.S("outcome", "ctx"))
 		return EvalResponse{}, ctx.Err()
 	}
+}
+
+// spanUnder opens name as a child of parent when the request carries a
+// span, falling back to a top-level span on the configured trace — so the
+// batching spans join the causal tree when one exists and keep their
+// pre-tracing shape when not.
+func (e *Executor) spanUnder(parent *obs.Span, name string, attrs ...obs.Attr) *obs.Span {
+	if parent.Enabled() {
+		return parent.Child(name, attrs...)
+	}
+	return e.cfg.Trace.Span(name, attrs...)
 }
 
 // park places a call in a coalescer buffer without blocking, under the same
@@ -347,18 +372,33 @@ func errOutcome(err error) string {
 // with batching enabled, through the coalescer so concurrent same-resolution
 // frames share a single batched forward.
 func (e *Executor) Detect(ctx context.Context, req DetectRequest) (DetectResponse, error) {
+	reqSpan := obs.SpanFromContext(ctx)
+	start := e.cfg.Clock.Now()
+	defer func() {
+		e.observeStage(StageTotal, e.cfg.Clock.Now().Sub(start), reqSpan.TraceID())
+	}()
 	if err := req.validate(); err != nil {
 		return DetectResponse{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	if e.detectCo != nil {
 		return e.detectBatched(ctx, req)
 	}
+	hook := e.stageHook(reqSpan.TraceID())
 	ctx, cancel := context.WithTimeout(ctx, e.cfg.JobTimeout)
 	defer cancel()
 	v, err := e.submit(ctx, func(det *yolo.Model) (any, error) {
 		img := tensor.FromSlice(req.Image, 1, 3, req.Height, req.Width)
+		fsp := reqSpan.Child(StageForward)
+		end := hook(StageForward)
 		heads := det.Forward(img)
-		return det.DecodeSample(heads, 0, yolo.DefaultDecode()), nil
+		end()
+		fsp.End()
+		dsp := reqSpan.Child(StageDecode)
+		end = hook(StageDecode)
+		dets := det.DecodeSample(heads, 0, yolo.DefaultDecode())
+		end()
+		dsp.End()
+		return dets, nil
 	})
 	if err != nil {
 		return DetectResponse{}, err
@@ -369,8 +409,10 @@ func (e *Executor) Detect(ctx context.Context, req DetectRequest) (DetectRespons
 // detectBatched parks one detect request in the coalescer and waits for its
 // group's batched forward.
 func (e *Executor) detectBatched(ctx context.Context, req DetectRequest) (DetectResponse, error) {
-	sp := e.cfg.Trace.Span("detect_batched", obs.I("pixels", len(req.Image)))
-	call := &detectCall{req: req, done: make(chan detectResult, 1)}
+	reqSpan := obs.SpanFromContext(ctx)
+	sp := e.spanUnder(reqSpan, "detect_batched", obs.I("pixels", len(req.Image)))
+	call := &detectCall{req: req, done: make(chan detectResult, 1),
+		parked: e.cfg.Clock.Now(), span: reqSpan, traceID: reqSpan.TraceID()}
 	if err := park(e, e.detectCo.in, call); err != nil {
 		sp.End(obs.S("outcome", errOutcome(err)))
 		return DetectResponse{}, err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"roadtrojan/internal/obs"
 	"roadtrojan/internal/yolo"
 )
 
@@ -20,11 +21,14 @@ var ErrShuttingDown = errors.New("serve: shutting down")
 
 // task is one queued unit of work. run receives the worker's private
 // detector replica; done is buffered so a worker never blocks on a caller
-// that gave up.
+// that gave up. enqueued stamps when the task entered the bounded queue
+// (feeding the queue_wait stage histogram, exemplared with traceID).
 type task struct {
-	ctx  context.Context
-	run  func(det *yolo.Model) (any, error)
-	done chan taskResult
+	ctx      context.Context
+	run      func(det *yolo.Model) (any, error)
+	done     chan taskResult
+	enqueued time.Time
+	traceID  string
 }
 
 type taskResult struct {
@@ -36,7 +40,8 @@ type taskResult struct {
 // a wait. It then blocks until a worker finishes the task or the request
 // context expires.
 func (e *Executor) submit(ctx context.Context, run func(det *yolo.Model) (any, error)) (any, error) {
-	t := &task{ctx: ctx, run: run, done: make(chan taskResult, 1)}
+	t := &task{ctx: ctx, run: run, done: make(chan taskResult, 1),
+		enqueued: e.cfg.Clock.Now(), traceID: obs.SpanFromContext(ctx).TraceID()}
 
 	e.drainMu.RLock()
 	if e.draining {
@@ -67,6 +72,9 @@ func (e *Executor) worker(det *yolo.Model) {
 	defer e.wg.Done()
 	for t := range e.jobs {
 		e.queueDepth.Add(-1)
+		if !t.enqueued.IsZero() {
+			e.observeStage(StageQueueWait, e.cfg.Clock.Now().Sub(t.enqueued), t.traceID)
+		}
 		e.inflight.Add(1)
 		start := time.Now()
 		t.done <- e.runTask(t, det)

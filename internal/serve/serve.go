@@ -187,13 +187,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return httpErr
 }
 
-// instrument wraps a handler with request counting and latency observation.
+// instrument wraps a handler with request counting, latency observation,
+// and trace-context handling: an incoming X-Roadtrojan-Trace header joins
+// the request span to the caller's trace (a bad header is ignored — tracing
+// must never fail a request), and the span rides the request context so the
+// executor can parent its stage spans.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	hist := s.reg.Histogram("serve_request_seconds", "request latency by endpoint",
 		telemetry.Labels{"endpoint": endpoint}, nil)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sp := s.cfg.Trace.Span("request", obs.S("endpoint", endpoint), obs.S("method", r.Method))
+		sc, _ := obs.ParseSpanContext(r.Header.Get(obs.TraceHeader))
+		sp := s.cfg.Trace.SpanInContext(sc, "request", obs.S("endpoint", endpoint), obs.S("method", r.Method))
+		if sp != nil {
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		sp.End(obs.I("code", sw.code))
@@ -289,10 +297,17 @@ func detailToResponse(d eval.Detail) EvalResponse {
 	}
 }
 
-// handleHealthz reports liveness plus queue occupancy.
+// handleHealthz is the readiness probe: liveness plus queue occupancy while
+// serving, 503 with status "draining" once shutdown has begun — so load
+// balancers stop routing to a node that will refuse its submissions.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+	status, code := "ok", http.StatusOK
+	if s.exec.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"draining":       s.exec.Draining(),
 		"workers":        s.exec.Workers(),
 		"queue_depth":    s.exec.QueueDepth(),
 		"queue_capacity": s.exec.QueueCapacity(),

@@ -108,33 +108,128 @@ type Histogram struct {
 	counts  []uint64 // one per bound, non-cumulative
 	sum     float64
 	samples uint64
+	// exemplars has one slot per bound plus a final +Inf slot; nil until
+	// the first ObserveExemplar, so plain histograms pay nothing.
+	exemplars []Exemplar
+}
+
+// Exemplar links one observed sample to the trace that produced it, in the
+// OpenMetrics sense: scrape output annotates the bucket the sample landed
+// in with `# {trace_id="..."} value`, so a p99 outlier on a dashboard
+// resolves directly to a journal trace ID.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.observeLocked(v)
+}
+
+func (h *Histogram) observeLocked(v float64) int {
 	h.sum += v
 	h.samples++
 	for i, b := range h.bounds {
 		if v <= b {
 			h.counts[i]++
-			return
+			return i
 		}
 	}
+	return len(h.bounds) // the implicit +Inf bucket
 }
 
-// snapshot returns cumulative bucket counts, the sum, and the sample count.
-func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
+// ObserveExemplar records one sample and attaches traceID as the bucket's
+// exemplar (latest wins: the most recent outlier is the one worth chasing).
+// An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	cum := make([]uint64, len(h.counts))
+	i := h.observeLocked(v)
+	if traceID == "" {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.bounds)+1)
+	}
+	h.exemplars[i] = Exemplar{TraceID: traceID, Value: v}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram in wire-friendly
+// form: cumulative bucket counts (one per bound; the +Inf count is Count),
+// the sum, and any bucket exemplars. It is what the fabric Stats frame
+// carries from node to gateway, and what the fleet aggregator merges.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // cumulative, len == len(Bounds)
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+	// Exemplars is indexed by bucket: 0..len(Bounds)-1 for finite buckets,
+	// len(Bounds) for +Inf. Empty TraceID means no exemplar. Nil when the
+	// histogram has never seen an exemplar.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Snapshot returns a copy of the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum,
+		Count:  h.samples,
+	}
 	var acc uint64
 	for i, c := range h.counts {
 		acc += c
-		cum[i] = acc
+		snap.Counts[i] = acc
 	}
-	return cum, h.sum, h.samples
+	if h.exemplars != nil {
+		snap.Exemplars = append([]Exemplar(nil), h.exemplars...)
+	}
+	return snap
+}
+
+// MergeSnapshots sums histogram snapshots with identical bounds into one
+// fleet-wide view. Exemplars merge bucket-wise; when several snapshots
+// carry one for the same bucket, the later snapshot in the slice wins, so
+// callers should pass snapshots in a deterministic order. Mismatched
+// bounds are an error: silently summing differently bucketed histograms
+// would fabricate a distribution.
+func MergeSnapshots(snaps []HistSnapshot) (HistSnapshot, error) {
+	if len(snaps) == 0 {
+		return HistSnapshot{}, fmt.Errorf("telemetry: no snapshots to merge")
+	}
+	var out HistSnapshot
+	for i, s := range snaps {
+		if i == 0 {
+			out.Bounds = append([]float64(nil), s.Bounds...)
+			out.Counts = make([]uint64, len(s.Counts))
+		} else if !equalBounds(out.Bounds, s.Bounds) {
+			return HistSnapshot{}, fmt.Errorf("telemetry: merging histograms with different bounds: %v vs %v", out.Bounds, s.Bounds)
+		}
+		if len(s.Counts) != len(s.Bounds) {
+			return HistSnapshot{}, fmt.Errorf("telemetry: snapshot has %d counts for %d bounds", len(s.Counts), len(s.Bounds))
+		}
+		for j, c := range s.Counts {
+			out.Counts[j] += c
+		}
+		out.Sum += s.Sum
+		out.Count += s.Count
+		for j, e := range s.Exemplars {
+			if e.TraceID == "" || j > len(out.Bounds) {
+				continue
+			}
+			if out.Exemplars == nil {
+				out.Exemplars = make([]Exemplar, len(out.Bounds)+1)
+			}
+			out.Exemplars[j] = e
+		}
+	}
+	return out, nil
 }
 
 // series is one (labels, metric) pair within a family.
@@ -389,32 +484,74 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		_, err := fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, s.gauge.Value())
 		return err
 	case s.hist != nil:
-		cum, sum, n := s.hist.snapshot()
-		for i, b := range s.hist.bounds {
-			if err := writeBucket(w, f.name, s.labels, fmt.Sprintf("%g", b), cum[i]); err != nil {
-				return err
-			}
-		}
-		if err := writeBucket(w, f.name, s.labels, "+Inf", n); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", f.name, s.labels, sum, f.name, s.labels, n); err != nil {
-			return err
-		}
+		return writeHistSnapshot(w, f.name, s.labels, s.hist.Snapshot())
 	}
 	return nil
 }
 
-// writeBucket emits one cumulative histogram bucket, splicing le into any
-// existing label set.
-func writeBucket(w io.Writer, name, labels, le string, v uint64) error {
-	leLabel := `le="` + escapeLabelValue(le) + `"`
-	if labels == "" {
-		_, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, leLabel, v)
+// WriteSnapshot renders a standalone histogram snapshot as one full text
+// family (HELP/TYPE, buckets, sum, count). The gateway's fleet aggregator
+// uses it to expose merged per-backend histograms that no local *Histogram
+// backs.
+func WriteSnapshot(w io.Writer, name, help string, labels Labels, snap HistSnapshot) error {
+	if err := WriteFamilyHeader(w, name, help); err != nil {
 		return err
 	}
-	inner := strings.TrimSuffix(labels, "}") + "," + leLabel + "}"
-	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, inner, v)
+	return WriteSnapshotSeries(w, name, labels, snap)
+}
+
+// WriteFamilyHeader emits the HELP/TYPE preamble for a standalone histogram
+// family. Callers rendering several label sets under one name (one series
+// per stage, say) write the header once and then WriteSnapshotSeries per
+// label set — the exposition format allows each family name only one
+// HELP/TYPE pair.
+func WriteFamilyHeader(w io.Writer, name, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	return err
+}
+
+// WriteSnapshotSeries renders one histogram series (buckets, sum, count)
+// without the family header.
+func WriteSnapshotSeries(w io.Writer, name string, labels Labels, snap HistSnapshot) error {
+	return writeHistSnapshot(w, name, labels.render(), snap)
+}
+
+func writeHistSnapshot(w io.Writer, name, labels string, snap HistSnapshot) error {
+	exemplar := func(i int) *Exemplar {
+		if i < len(snap.Exemplars) && snap.Exemplars[i].TraceID != "" {
+			return &snap.Exemplars[i]
+		}
+		return nil
+	}
+	for i, b := range snap.Bounds {
+		if err := writeBucket(w, name, labels, fmt.Sprintf("%g", b), snap.Counts[i], exemplar(i)); err != nil {
+			return err
+		}
+	}
+	if err := writeBucket(w, name, labels, "+Inf", snap.Count, exemplar(len(snap.Bounds))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", name, labels, snap.Sum, name, labels, snap.Count)
+	return err
+}
+
+// writeBucket emits one cumulative histogram bucket, splicing le into any
+// existing label set. A non-nil exemplar appends the OpenMetrics-style
+// annotation `# {trace_id="..."} value`; buckets without exemplars render
+// exactly as before, so plain scrapes are byte-unchanged.
+func writeBucket(w io.Writer, name, labels, le string, v uint64, ex *Exemplar) error {
+	leLabel := `le="` + escapeLabelValue(le) + `"`
+	var line string
+	if labels == "" {
+		line = fmt.Sprintf("%s_bucket{%s} %d", name, leLabel, v)
+	} else {
+		inner := strings.TrimSuffix(labels, "}") + "," + leLabel + "}"
+		line = fmt.Sprintf("%s_bucket%s %d", name, inner, v)
+	}
+	if ex != nil {
+		line += fmt.Sprintf(" # {trace_id=\"%s\"} %g", escapeLabelValue(ex.TraceID), ex.Value)
+	}
+	_, err := fmt.Fprintln(w, line)
 	return err
 }
 

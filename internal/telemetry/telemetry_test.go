@@ -188,7 +188,7 @@ func TestConcurrentUpdates(t *testing.T) {
 	if v := r.Gauge("g", "g", nil).Value(); v != 8000 {
 		t.Fatalf("gauge = %g, want 8000", v)
 	}
-	if _, _, n := r.Histogram("h", "h", nil, nil).snapshot(); n != 8000 {
+	if n := r.Histogram("h", "h", nil, nil).Snapshot().Count; n != 8000 {
 		t.Fatalf("histogram count = %d, want 8000", n)
 	}
 }
@@ -299,4 +299,103 @@ func TestRegistrationCollisions(t *testing.T) {
 		}
 	}()
 	r.Gauge("m", "help", nil)
+}
+
+func TestHistogramExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stage_seconds", "stage latency", Labels{"stage": "forward"}, []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "gw:gateway_request#0")
+	h.ObserveExemplar(0.5, "gw:gateway_request#1")
+	h.Observe(0.6) // plain observation must not disturb the bucket exemplar
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`stage_seconds_bucket{stage="forward",le="0.1"} 1 # {trace_id="gw:gateway_request#0"} 0.05`,
+		`stage_seconds_bucket{stage="forward",le="1"} 3 # {trace_id="gw:gateway_request#1"} 0.5`,
+		`stage_seconds_bucket{stage="forward",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramWithoutExemplarsByteUnchanged(t *testing.T) {
+	render := func(observe func(h *Histogram)) string {
+		r := NewRegistry()
+		h := r.Histogram("h", "h", nil, []float64{1})
+		observe(h)
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	plain := render(func(h *Histogram) { h.Observe(0.5) })
+	empty := render(func(h *Histogram) { h.ObserveExemplar(0.5, "") })
+	if plain != empty {
+		t.Fatalf("empty-trace exemplar changed exposition:\n%s\n---\n%s", plain, empty)
+	}
+	if strings.Contains(plain, "#") && strings.Contains(plain, "trace_id") {
+		t.Fatalf("plain exposition leaked exemplar syntax:\n%s", plain)
+	}
+}
+
+func TestHistogramExemplarLatestWins(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", nil, []float64{1})
+	h.ObserveExemplar(0.2, "trace-a")
+	h.ObserveExemplar(0.3, "trace-b")
+	s := h.Snapshot()
+	if s.Exemplars[0].TraceID != "trace-b" || s.Exemplars[0].Value != 0.3 {
+		t.Fatalf("bucket exemplar = %+v, want latest (trace-b)", s.Exemplars[0])
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	mk := func(traceID string, vals ...float64) HistSnapshot {
+		r := NewRegistry()
+		h := r.Histogram("h", "h", nil, []float64{0.1, 1})
+		for _, v := range vals {
+			h.ObserveExemplar(v, traceID)
+		}
+		return h.Snapshot()
+	}
+	a := mk("node-a", 0.05, 0.5)
+	b := mk("node-b", 0.06, 5)
+
+	m, err := MergeSnapshots([]HistSnapshot{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 4 {
+		t.Fatalf("merged count = %d, want 4", m.Count)
+	}
+	if got, want := m.Sum, 0.05+0.5+0.06+5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged sum = %v, want %v", got, want)
+	}
+	// Cumulative buckets: le=0.1 holds 2 (0.05, 0.06), le=1 holds 3.
+	if m.Counts[0] != 2 || m.Counts[1] != 3 {
+		t.Fatalf("merged cumulative counts = %v", m.Counts)
+	}
+	// Later snapshot's exemplar wins per bucket where both have one.
+	if m.Exemplars[0].TraceID != "node-b" {
+		t.Fatalf("bucket-0 exemplar = %+v, want node-b's", m.Exemplars[0])
+	}
+	// Bucket 1 only a touched: a's exemplar survives.
+	if m.Exemplars[1].TraceID != "node-a" {
+		t.Fatalf("bucket-1 exemplar = %+v, want node-a's", m.Exemplars[1])
+	}
+
+	if _, err := MergeSnapshots(nil); err == nil {
+		t.Fatal("MergeSnapshots(nil) should error")
+	}
+	c := HistSnapshot{Bounds: []float64{0.5}, Counts: []uint64{0}}
+	if _, err := MergeSnapshots([]HistSnapshot{a, c}); err == nil {
+		t.Fatal("mismatched bounds should error")
+	}
 }

@@ -51,6 +51,14 @@ go test -count 1 -run 'Golden' ./internal/obs ./cmd/runreport
 echo "== fabric smoke (gateway + 2 nodes)"
 go test -race -count 1 -run 'TestFabricSmoke' ./internal/fabric
 
+# Trace golden gate: the committed tracetool fixture must merge
+# byte-for-byte into testdata/merged.golden, and a live gateway plus
+# three journaled nodes must produce one causal tree whose merged
+# rendering is identical across fresh runs (injected logical clocks).
+echo "== trace golden (tracetool fixture + cross-process merge)"
+go test -count 1 ./cmd/tracetool
+go test -race -count 1 -run 'TestTraceGoldenCrossProcess' ./internal/fabric
+
 # Chaos gate: seed-deterministic fault injection (partitions, corrupt and
 # truncated frames, slow-loris handshakes, duplicate delivery) against the
 # chaos wrappers and the gateway/node pair, race-enabled. Seeds are pinned
